@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+PEP 660 editable installs (which must build a wheel) cannot run.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``pip install -e .`` on modern toolchains) fall back to the classic
+``setup.py develop`` code path.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,233 @@
+"""Planar geometry kernel.
+
+Pure-math helpers shared by the BQS structures, the baselines and the
+evaluation harness.  Everything operates on plain ``(x, y)`` float pairs so
+the module has no dependency on the data model; distances are Euclidean and
+in the same unit as the inputs (metres throughout this library).
+
+The paper's deviation metric (Section IV) is the distance from a point to
+the *infinite line* through a segment's start and end points; the
+point-to-line-segment variant (Section V-G) is also provided, as are the
+convex-hull and wedge-clipping utilities used by the bound-validation tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+Vec2 = tuple[float, float]
+
+__all__ = [
+    "Vec2",
+    "cross",
+    "dot",
+    "norm",
+    "normalize_angle",
+    "angle_of",
+    "angle_diff",
+    "rotate",
+    "point_line_distance",
+    "point_line_distance_origin",
+    "point_segment_distance",
+    "max_deviation_to_line",
+    "max_deviation_to_segment",
+    "convex_hull",
+    "clip_polygon_halfplane",
+    "rectangle_corners",
+]
+
+
+def cross(a: Vec2, b: Vec2) -> float:
+    """2-D cross product ``a × b`` (z-component)."""
+    return a[0] * b[1] - a[1] * b[0]
+
+
+def dot(a: Vec2, b: Vec2) -> float:
+    """2-D dot product."""
+    return a[0] * b[0] + a[1] * b[1]
+
+
+def norm(a: Vec2) -> float:
+    """Euclidean norm of a 2-vector."""
+    return math.hypot(a[0], a[1])
+
+
+def normalize_angle(theta: float) -> float:
+    """Wrap an angle into ``[0, 2π)``."""
+    wrapped = math.fmod(theta, 2.0 * math.pi)
+    if wrapped < 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped
+
+
+def angle_of(p: Vec2) -> float:
+    """Polar angle of ``p`` in ``[0, 2π)``; 0 for the origin itself."""
+    if p[0] == 0.0 and p[1] == 0.0:
+        return 0.0
+    return normalize_angle(math.atan2(p[1], p[0]))
+
+
+def angle_diff(a: float, b: float) -> float:
+    """Smallest absolute difference between two angles, in ``[0, π]``."""
+    d = abs(math.fmod(a - b, 2.0 * math.pi))
+    if d > math.pi:
+        d = 2.0 * math.pi - d
+    return d
+
+
+def rotate(p: Vec2, theta: float) -> Vec2:
+    """Rotate ``p`` counter-clockwise about the origin by ``theta`` radians."""
+    c = math.cos(theta)
+    s = math.sin(theta)
+    return (p[0] * c - p[1] * s, p[0] * s + p[1] * c)
+
+
+def point_line_distance(p: Vec2, a: Vec2, b: Vec2) -> float:
+    """Distance from ``p`` to the infinite line through ``a`` and ``b``.
+
+    Degenerates gracefully: when ``a == b`` the "line" collapses to a point
+    and the point-to-point distance is returned, which matches how the paper
+    treats zero-length path lines (the deviation of anything from a single
+    location is its distance to that location).
+    """
+    ab = (b[0] - a[0], b[1] - a[1])
+    ap = (p[0] - a[0], p[1] - a[1])
+    denom = norm(ab)
+    if denom == 0.0:
+        return norm(ap)
+    return abs(cross(ab, ap)) / denom
+
+
+def point_line_distance_origin(p: Vec2, direction: Vec2) -> float:
+    """Distance from ``p`` to the line through the origin along ``direction``.
+
+    This is the hot path inside the BQS bound computation, where every path
+    line passes through the (possibly rotated) segment origin.
+    """
+    denom = norm(direction)
+    if denom == 0.0:
+        return norm(p)
+    return abs(cross(direction, p)) / denom
+
+
+def point_segment_distance(p: Vec2, a: Vec2, b: Vec2) -> float:
+    """Distance from ``p`` to the closed line segment ``ab``."""
+    ab = (b[0] - a[0], b[1] - a[1])
+    ap = (p[0] - a[0], p[1] - a[1])
+    denom = dot(ab, ab)
+    if denom == 0.0:
+        return norm(ap)
+    t = dot(ap, ab) / denom
+    if t <= 0.0:
+        return norm(ap)
+    if t >= 1.0:
+        return math.hypot(p[0] - b[0], p[1] - b[1])
+    proj = (a[0] + t * ab[0], a[1] + t * ab[1])
+    return math.hypot(p[0] - proj[0], p[1] - proj[1])
+
+
+def max_deviation_to_line(
+    points: Iterable[Vec2], a: Vec2, b: Vec2
+) -> float:
+    """Maximum point-to-line distance over ``points`` (0 for no points).
+
+    This is the paper's deviation ``â(τ)`` for a segment whose interior
+    points are ``points`` and whose compressed representation is the line
+    through ``a`` and ``b``.
+    """
+    best = 0.0
+    for p in points:
+        d = point_line_distance(p, a, b)
+        if d > best:
+            best = d
+    return best
+
+
+def max_deviation_to_segment(
+    points: Iterable[Vec2], a: Vec2, b: Vec2
+) -> float:
+    """Maximum point-to-line-segment distance over ``points``."""
+    best = 0.0
+    for p in points:
+        d = point_segment_distance(p, a, b)
+        if d > best:
+            best = d
+    return best
+
+
+def convex_hull(points: Sequence[Vec2]) -> list[Vec2]:
+    """Convex hull by Andrew's monotone chain, counter-clockwise.
+
+    Collinear points on the hull boundary are dropped.  Returns the input
+    for fewer than 3 distinct points.
+    """
+    pts = sorted(set((float(x), float(y)) for x, y in points))
+    if len(pts) <= 2:
+        return pts
+
+    def half(chain_pts: Iterable[Vec2]) -> list[Vec2]:
+        chain: list[Vec2] = []
+        for p in chain_pts:
+            while len(chain) >= 2:
+                o, q = chain[-2], chain[-1]
+                if cross((q[0] - o[0], q[1] - o[1]), (p[0] - o[0], p[1] - o[1])) <= 0:
+                    chain.pop()
+                else:
+                    break
+            chain.append(p)
+        return chain
+
+    lower = half(pts)
+    upper = half(reversed(pts))
+    return lower[:-1] + upper[:-1]
+
+
+def clip_polygon_halfplane(
+    polygon: Sequence[Vec2], a: Vec2, b: Vec2
+) -> list[Vec2]:
+    """Clip a polygon to the half-plane left of the directed line ``a → b``.
+
+    Sutherland–Hodgman single-edge step.  Used by the validation tooling to
+    compute the exact box∩wedge region that Theorems 5.3–5.5 bound.
+    """
+    if not polygon:
+        return []
+    direction = (b[0] - a[0], b[1] - a[1])
+
+    def side(p: Vec2) -> float:
+        return cross(direction, (p[0] - a[0], p[1] - a[1]))
+
+    out: list[Vec2] = []
+    n = len(polygon)
+    for i in range(n):
+        cur = polygon[i]
+        nxt = polygon[(i + 1) % n]
+        cur_in = side(cur) >= -1e-12
+        nxt_in = side(nxt) >= -1e-12
+        if cur_in:
+            out.append(cur)
+        if cur_in != nxt_in:
+            # Edge crosses the clip line: add the intersection point.
+            s_cur = side(cur)
+            s_nxt = side(nxt)
+            t = s_cur / (s_cur - s_nxt)
+            out.append(
+                (
+                    cur[0] + t * (nxt[0] - cur[0]),
+                    cur[1] + t * (nxt[1] - cur[1]),
+                )
+            )
+    return out
+
+
+def rectangle_corners(
+    min_x: float, min_y: float, max_x: float, max_y: float
+) -> list[Vec2]:
+    """The four corners of an axis-aligned rectangle, counter-clockwise."""
+    return [
+        (min_x, min_y),
+        (max_x, min_y),
+        (max_x, max_y),
+        (min_x, max_y),
+    ]

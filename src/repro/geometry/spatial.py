@@ -1,0 +1,164 @@
+"""3-D geometry kernel for the 3-D Bounded Quadrant System (Section V-G).
+
+All helpers operate on plain ``(x, y, z)`` float triples.  The deviation
+metric in 3-D is the distance from a point to the infinite 3-D line through
+the segment's start and end (the paper extends its 2-D point-to-line metric
+verbatim); the point-to-segment variant is provided for completeness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+Vec3 = tuple[float, float, float]
+
+__all__ = [
+    "Vec3",
+    "add3",
+    "sub3",
+    "scale3",
+    "dot3",
+    "cross3",
+    "norm3",
+    "point_line_distance3",
+    "point_line_distance_origin3",
+    "point_segment_distance3",
+    "max_deviation_to_line3",
+    "plane_from_points",
+    "plane_signed_distance",
+    "segment_plane_intersection",
+    "box_corners3",
+]
+
+
+def add3(a: Vec3, b: Vec3) -> Vec3:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def sub3(a: Vec3, b: Vec3) -> Vec3:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def scale3(a: Vec3, k: float) -> Vec3:
+    return (a[0] * k, a[1] * k, a[2] * k)
+
+
+def dot3(a: Vec3, b: Vec3) -> float:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def cross3(a: Vec3, b: Vec3) -> Vec3:
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def norm3(a: Vec3) -> float:
+    return math.sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2])
+
+
+def point_line_distance3(p: Vec3, a: Vec3, b: Vec3) -> float:
+    """Distance from ``p`` to the infinite 3-D line through ``a`` and ``b``.
+
+    Collapses to the point-to-point distance when ``a == b`` (degenerate
+    path line), mirroring the planar kernel's behaviour.
+    """
+    ab = sub3(b, a)
+    ap = sub3(p, a)
+    denom = norm3(ab)
+    if denom == 0.0:
+        return norm3(ap)
+    return norm3(cross3(ab, ap)) / denom
+
+
+def point_line_distance_origin3(p: Vec3, direction: Vec3) -> float:
+    """Distance from ``p`` to the 3-D line through the origin."""
+    denom = norm3(direction)
+    if denom == 0.0:
+        return norm3(p)
+    return norm3(cross3(direction, p)) / denom
+
+
+def point_segment_distance3(p: Vec3, a: Vec3, b: Vec3) -> float:
+    """Distance from ``p`` to the closed 3-D segment ``ab``."""
+    ab = sub3(b, a)
+    ap = sub3(p, a)
+    denom = dot3(ab, ab)
+    if denom == 0.0:
+        return norm3(ap)
+    t = dot3(ap, ab) / denom
+    if t <= 0.0:
+        return norm3(ap)
+    if t >= 1.0:
+        return norm3(sub3(p, b))
+    proj = add3(a, scale3(ab, t))
+    return norm3(sub3(p, proj))
+
+
+def max_deviation_to_line3(points: Iterable[Vec3], a: Vec3, b: Vec3) -> float:
+    """Maximum point-to-3-D-line distance over ``points`` (0 if empty)."""
+    best = 0.0
+    for p in points:
+        d = point_line_distance3(p, a, b)
+        if d > best:
+            best = d
+    return best
+
+
+def plane_from_points(p1: Vec3, p2: Vec3, p3: Vec3) -> tuple[Vec3, float]:
+    """The plane through three points as ``(unit normal, offset)``.
+
+    The plane is ``dot(normal, x) = offset``.  Raises ``ValueError`` for
+    (near-)collinear inputs, which cannot define a plane.
+    """
+    n = cross3(sub3(p2, p1), sub3(p3, p1))
+    length = norm3(n)
+    if length < 1e-12:
+        raise ValueError("collinear points do not define a plane")
+    unit = scale3(n, 1.0 / length)
+    return unit, dot3(unit, p1)
+
+
+def plane_signed_distance(p: Vec3, normal: Vec3, offset: float) -> float:
+    """Signed distance from ``p`` to the plane ``dot(normal, x) = offset``."""
+    return dot3(normal, p) - offset
+
+
+def segment_plane_intersection(
+    a: Vec3, b: Vec3, normal: Vec3, offset: float
+) -> Vec3 | None:
+    """Intersection of segment ``ab`` with a plane, or ``None``.
+
+    Endpoints lying exactly on the plane count as intersections.
+    """
+    da = plane_signed_distance(a, normal, offset)
+    db = plane_signed_distance(b, normal, offset)
+    if da == 0.0:
+        return a
+    if db == 0.0:
+        return b
+    if (da > 0.0) == (db > 0.0):
+        return None
+    t = da / (da - db)
+    return add3(a, scale3(sub3(b, a), t))
+
+
+def box_corners3(
+    min_corner: Vec3, max_corner: Vec3
+) -> list[Vec3]:
+    """The 8 corners of an axis-aligned box, in a fixed deterministic order."""
+    (x0, y0, z0) = min_corner
+    (x1, y1, z1) = max_corner
+    return [
+        (x0, y0, z0),
+        (x1, y0, z0),
+        (x1, y1, z0),
+        (x0, y1, z0),
+        (x0, y0, z1),
+        (x1, y0, z1),
+        (x1, y1, z1),
+        (x0, y1, z1),
+    ]

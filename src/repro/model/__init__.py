@@ -1,0 +1,57 @@
+"""Trajectory data model: points, projections, trajectories, reconstruction."""
+
+from .point import EARTH_RADIUS_M, LocationPoint, PlanePoint, haversine_m, iter_plane_points
+from .projection import (
+    LocalTangentProjection,
+    Projection,
+    TransverseMercator,
+    UTMProjection,
+    project_track,
+    unproject_track,
+    utm_zone_for,
+)
+from .reconstruction import (
+    GaussianProgress,
+    ProgressDistribution,
+    UniformProgress,
+    interpolate,
+    reconstruct_at,
+    reconstruct_series,
+)
+from .statistics import EmpiricalDistribution, OnlineGaussian, RunningStats
+from .trajectory import (
+    GPS_SAMPLE_BYTES,
+    CompressedTrajectory,
+    Segment,
+    Trajectory,
+    segment_deviation,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GPS_SAMPLE_BYTES",
+    "CompressedTrajectory",
+    "EmpiricalDistribution",
+    "GaussianProgress",
+    "LocalTangentProjection",
+    "LocationPoint",
+    "OnlineGaussian",
+    "PlanePoint",
+    "Projection",
+    "ProgressDistribution",
+    "RunningStats",
+    "Segment",
+    "Trajectory",
+    "TransverseMercator",
+    "UTMProjection",
+    "UniformProgress",
+    "haversine_m",
+    "interpolate",
+    "iter_plane_points",
+    "project_track",
+    "reconstruct_at",
+    "reconstruct_series",
+    "segment_deviation",
+    "unproject_track",
+    "utm_zone_for",
+]

@@ -1,0 +1,152 @@
+"""Temporal reconstruction of compressed trajectories (paper Eq. 1–3).
+
+A compressed segment keeps only its two key points; positions in between are
+re-created at query time:
+
+    v_t = < h_lat(P, v_s, v_e, t), h_lon(P, v_s, v_e, t), t >      (Eq. 1)
+
+where ``P`` is a progress distribution over the segment's time window and
+``h`` linearly mixes the endpoint coordinates by ``P(t)``:
+
+    P(t) = (t - v_s.t) / (v_e.t - v_s.t)                            (Eq. 2)
+    h(P, v_s, v_e, t) = v_s + P(t) * (v_e - v_s)                    (Eq. 3)
+
+Equation 2 is the uniform-progress case.  The paper notes ``P`` "can be
+derived online to fit the distribution of the actual data", e.g. a Gaussian
+fitted with Knuth's semi-numeric online updates; both options are
+implemented here.  The same machinery reconstructs ``x``/``y`` plane
+coordinates, altitude, or anything else carried by the key points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from .point import PlanePoint
+from .statistics import OnlineGaussian
+from .trajectory import CompressedTrajectory
+
+__all__ = [
+    "ProgressDistribution",
+    "UniformProgress",
+    "GaussianProgress",
+    "interpolate",
+    "reconstruct_at",
+    "reconstruct_series",
+]
+
+
+class ProgressDistribution(Protocol):
+    """Maps a timestamp inside ``[t_start, t_end]`` to progress in [0, 1]."""
+
+    def progress(self, t: float, t_start: float, t_end: float) -> float:
+        """Fraction of the segment travelled by time ``t``."""
+        ...
+
+
+@dataclass(frozen=True)
+class UniformProgress:
+    """Equation 2: uniform progress ``P(t) = (t - ts) / (te - ts)``."""
+
+    def progress(self, t: float, t_start: float, t_end: float) -> float:
+        if t_end <= t_start:
+            return 1.0
+        p = (t - t_start) / (t_end - t_start)
+        return min(1.0, max(0.0, p))
+
+
+@dataclass
+class GaussianProgress:
+    """Progress following an online-fitted Gaussian arrival-time profile.
+
+    The fitted CDF is renormalised over each segment's window so that
+    ``P(t_start) = 0`` and ``P(t_end) = 1``; with no (or degenerate) fit it
+    falls back to uniform progress, so reconstruction is always defined.
+    """
+
+    fit: OnlineGaussian = field(default_factory=OnlineGaussian)
+
+    def observe(self, t: float) -> None:
+        """Feed one observed within-segment timestamp into the fit."""
+        self.fit.observe(t)
+
+    def progress(self, t: float, t_start: float, t_end: float) -> float:
+        if t_end <= t_start:
+            return 1.0
+        t = min(max(t, t_start), t_end)
+        lo = self.fit.cdf(t_start)
+        hi = self.fit.cdf(t_end)
+        span = hi - lo
+        if self.fit.stats.count < 2 or span <= 1e-12:
+            return (t - t_start) / (t_end - t_start)
+        return min(1.0, max(0.0, (self.fit.cdf(t) - lo) / span))
+
+
+def interpolate(
+    start_value: float,
+    end_value: float,
+    p: float,
+) -> float:
+    """Equation 3's ``h``: mix two endpoint values by progress ``p``."""
+    return start_value + p * (end_value - start_value)
+
+
+def reconstruct_at(
+    v_start: PlanePoint,
+    v_end: PlanePoint,
+    t: float,
+    distribution: ProgressDistribution | None = None,
+) -> PlanePoint:
+    """Equation 1: the reconstructed location at time ``t``.
+
+    ``t`` must lie within ``[v_start.t, v_end.t]``; the z coordinate is
+    interpolated alongside x and y so 3-D reconstructions work unchanged.
+    """
+    if not (min(v_start.t, v_end.t) <= t <= max(v_start.t, v_end.t)):
+        raise ValueError(
+            f"t={t} outside segment window [{v_start.t}, {v_end.t}]"
+        )
+    dist = distribution if distribution is not None else UniformProgress()
+    p = dist.progress(t, v_start.t, v_end.t)
+    return PlanePoint(
+        x=interpolate(v_start.x, v_end.x, p),
+        y=interpolate(v_start.y, v_end.y, p),
+        t=t,
+        z=interpolate(v_start.z, v_end.z, p),
+    )
+
+
+def reconstruct_series(
+    compressed: CompressedTrajectory,
+    timestamps: Sequence[float],
+    distribution: ProgressDistribution | None = None,
+) -> list[PlanePoint]:
+    """Reconstruct positions at many (sorted) timestamps in one pass.
+
+    Timestamps must be non-decreasing and within the compressed
+    trajectory's overall time window.
+    """
+    if not compressed.key_points:
+        raise ValueError("cannot reconstruct from an empty trajectory")
+    for prev, cur in zip(timestamps, timestamps[1:]):
+        if cur < prev:
+            raise ValueError("timestamps must be non-decreasing")
+
+    keys = compressed.key_points
+    if len(keys) == 1:
+        only = keys[0]
+        return [PlanePoint(only.x, only.y, t, only.z) for t in timestamps]
+
+    out: list[PlanePoint] = []
+    idx = 0
+    for t in timestamps:
+        if t < keys[0].t or t > keys[-1].t:
+            raise ValueError(
+                f"t={t} outside trajectory window [{keys[0].t}, {keys[-1].t}]"
+            )
+        while idx + 2 < len(keys) and t > keys[idx + 1].t:
+            idx += 1
+        out.append(reconstruct_at(keys[idx], keys[idx + 1], t, distribution))
+    return out

@@ -1,0 +1,184 @@
+"""Online (single-pass) statistics used by the temporal reconstruction.
+
+The paper notes (Section IV) that the interpolation distribution ``P`` "can
+be derived online to fit the distribution of the actual data.  For instance,
+an online algorithm for fitting Gaussian distribution by dynamically updating
+the variance and mean can be implemented with semi-numeric algorithms
+described in [Knuth, TAOCP vol. 2]".  This module provides that machinery:
+Welford's numerically-stable online mean/variance update, plus a tiny online
+histogram for empirical distributions used by the synthetic data generators.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["RunningStats", "OnlineGaussian", "EmpiricalDistribution"]
+
+
+@dataclass
+class RunningStats:
+    """Welford's online mean/variance accumulator (Knuth TAOCP 4.2.2).
+
+    Supports O(1) ``push`` of a sample and O(1) queries for the running
+    mean, (population or sample) variance, min and max.  Numerically stable:
+    no sum-of-squares catastrophic cancellation.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def push(self, value: float) -> None:
+        """Fold one sample into the running statistics."""
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite sample: {value!r}")
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the running statistics."""
+        for v in values:
+            self.push(v)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (Chan et al. parallel update)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / total
+        )
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+
+@dataclass
+class OnlineGaussian:
+    """An online-fitted Gaussian usable as the interpolation distribution P.
+
+    ``cdf`` evaluates the fitted normal CDF; reconstruction rescales it over
+    a segment's time window so that P(start) = 0 and P(end) = 1 (see
+    :mod:`repro.model.reconstruction`).
+    """
+
+    stats: RunningStats = field(default_factory=RunningStats)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the fit."""
+        self.stats.push(value)
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    @property
+    def stddev(self) -> float:
+        return self.stats.stddev
+
+    def cdf(self, value: float) -> float:
+        """Fitted normal CDF; degenerates to a unit step with no spread."""
+        sd = self.stats.stddev
+        if self.stats.count == 0:
+            return 0.5
+        if sd == 0.0:
+            if value < self.mean:
+                return 0.0
+            if value > self.mean:
+                return 1.0
+            return 0.5
+        return 0.5 * (1.0 + math.erf((value - self.mean) / (sd * math.sqrt(2.0))))
+
+
+class EmpiricalDistribution:
+    """A frozen empirical distribution with inverse-CDF sampling.
+
+    The synthetic-movement models draw speeds from "the empirical
+    distribution of speed" (Section VI-A); this class captures a sample set
+    once and then provides quantile lookups given uniform variates, so the
+    generators stay reproducible under a caller-supplied RNG.
+    """
+
+    def __init__(self, samples: Sequence[float]):
+        values = sorted(float(s) for s in samples)
+        if not values:
+            raise ValueError("empirical distribution needs at least one sample")
+        for v in values:
+            if not math.isfinite(v):
+                raise ValueError(f"non-finite sample: {v!r}")
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def minimum(self) -> float:
+        return self._values[0]
+
+    @property
+    def maximum(self) -> float:
+        return self._values[-1]
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile for ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        values = self._values
+        if len(values) == 1:
+            return values[0]
+        pos = q * (len(values) - 1)
+        low = int(pos)
+        high = min(low + 1, len(values) - 1)
+        frac = pos - low
+        return values[low] * (1.0 - frac) + values[high] * frac
+
+    def sample(self, uniform_variate: float) -> float:
+        """Inverse-CDF sample from a uniform [0, 1) variate."""
+        return self.quantile(min(max(uniform_variate, 0.0), 1.0))
+
+    def cdf(self, value: float) -> float:
+        """Empirical CDF (fraction of samples <= value)."""
+        return bisect_right(self._values, value) / len(self._values)
