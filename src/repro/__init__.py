@@ -1,0 +1,62 @@
+"""Reproduction of "Bounded Quadrant System: Error-bounded trajectory
+compression on the go" (Liu et al., ICDE 2015).
+
+Three layers, lowest first:
+
+``repro.geometry``
+    Dependency-free 2-D/3-D math kernels: distances, hulls, the wedge/box
+    bound helpers behind the BQS deviation bounds.
+
+``repro.model``
+    The data model: GPS and plane points, projections, trajectories,
+    compressed trajectories, temporal reconstruction, online statistics.
+
+``repro.compression``
+    The streaming compressors — BQS, Fast-BQS, dead reckoning, uniform
+    sampling, Douglas-Peucker, TD-TR — behind one online protocol, plus the
+    evaluation harness.
+
+The most common entry points are re-exported here.
+"""
+
+from . import compression, geometry, model
+from .compression import (
+    BQSCompressor,
+    DeadReckoningCompressor,
+    DouglasPeucker,
+    FastBQSCompressor,
+    StreamingCompressor,
+    TDTRCompressor,
+    UniformSampler,
+    evaluate_suite,
+    synthetic_track,
+)
+from .geometry import DistanceMetric
+from .model import (
+    CompressedTrajectory,
+    LocationPoint,
+    PlanePoint,
+    Segment,
+    Trajectory,
+)
+
+__all__ = [
+    "BQSCompressor",
+    "CompressedTrajectory",
+    "DeadReckoningCompressor",
+    "DistanceMetric",
+    "DouglasPeucker",
+    "FastBQSCompressor",
+    "LocationPoint",
+    "PlanePoint",
+    "Segment",
+    "StreamingCompressor",
+    "TDTRCompressor",
+    "Trajectory",
+    "UniformSampler",
+    "compression",
+    "evaluate_suite",
+    "geometry",
+    "model",
+    "synthetic_track",
+]

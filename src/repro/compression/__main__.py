@@ -1,0 +1,6 @@
+"""CLI entry point: ``python -m repro.compression`` runs the evaluation harness."""
+
+from .evaluate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,288 @@
+"""Streaming-compressor architecture shared by every algorithm.
+
+The paper frames trajectory compression as an *online* problem: points
+arrive one at a time from a GPS unit, and the compressor must decide on the
+fly which of them become key points of the compressed trajectory.  This
+module fixes the contract every algorithm in :mod:`repro.compression`
+implements, so BQS, Fast-BQS and the baselines are interchangeable from the
+caller's point of view:
+
+``StreamingCompressor`` (protocol)
+    ``push(point) -> PushResult`` folds one point into the stream and
+    reports any key points committed by that arrival; ``finish()`` seals the
+    stream and returns the :class:`~repro.model.trajectory.CompressedTrajectory`.
+
+``CompressorBase`` (ABC)
+    The shared machinery: timestamp-monotonicity validation, key-point
+    emission, push counting, lifecycle (``reset`` / one-shot ``finish``),
+    the ``compress()`` convenience driver and the ``buffered_points``
+    instrumentation used by the memory-behaviour tests.
+
+``PointBuffer``
+    A small buffer with high-water-mark tracking, used by the algorithms
+    that legitimately buffer (BQS's exact-deviation fallback, the batch
+    baselines) so their memory behaviour is observable.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from ..geometry.metrics import DistanceMetric
+from ..model.point import PlanePoint
+from ..model.trajectory import CompressedTrajectory
+
+__all__ = [
+    "Decision",
+    "PushResult",
+    "StreamingCompressor",
+    "CompressorBase",
+    "PointBuffer",
+]
+
+
+class Decision:
+    """How a compressor arrived at a push outcome (for stats and tests).
+
+    String constants rather than an enum so algorithm-specific decisions can
+    be added without touching this module.
+    """
+
+    INIT = "init"  #: first point of the stream, always a key point
+    ACCEPT = "accept"  #: point folded into the open segment, no analysis
+    UPPER_BOUND = "upper_bound"  #: quadrant upper bound proved deviation <= ε
+    LOWER_BOUND = "lower_bound"  #: quadrant lower bound proved deviation > ε
+    EXACT = "exact"  #: buffered exact-deviation computation decided
+    THRESHOLD = "threshold"  #: scalar threshold test (dead reckoning)
+    PERIODIC = "periodic"  #: fixed-rate decision (uniform sampling)
+    BATCH = "batch"  #: deferred to finish() (batch baselines)
+
+
+@dataclass(frozen=True)
+class PushResult:
+    """Outcome of feeding one point to a streaming compressor.
+
+    Attributes:
+        index: 0-based position of the pushed point in the original stream.
+        new_key_points: key points committed *by this arrival* (usually
+            empty; one on a segment split; the point itself on stream start).
+        decided_by: one of the :class:`Decision` constants.
+    """
+
+    index: int
+    new_key_points: tuple[PlanePoint, ...]
+    decided_by: str
+
+    @property
+    def committed(self) -> bool:
+        return bool(self.new_key_points)
+
+
+@runtime_checkable
+class StreamingCompressor(Protocol):
+    """The uniform online interface of every compressor in this package."""
+
+    @property
+    def name(self) -> str:
+        """Short algorithm identifier (used by the evaluation harness)."""
+        ...
+
+    @property
+    def epsilon(self) -> float:
+        """The error tolerance in metres (``math.inf`` when unbounded)."""
+        ...
+
+    def push(self, point: PlanePoint) -> PushResult:
+        """Fold one point into the stream; report committed key points."""
+        ...
+
+    def finish(self) -> CompressedTrajectory:
+        """Seal the stream and return the compressed trajectory."""
+        ...
+
+    def reset(self) -> None:
+        """Return to the pristine pre-stream state."""
+        ...
+
+
+class PointBuffer:
+    """A point buffer that remembers its high-water mark.
+
+    Algorithms that buffer (BQS fallback, batch baselines) route their
+    storage through this class so tests — and the evaluation harness — can
+    report peak memory behaviour per algorithm.
+    """
+
+    __slots__ = ("_points", "peak")
+
+    def __init__(self) -> None:
+        self._points: list[PlanePoint] = []
+        self.peak = 0
+
+    def append(self, point: PlanePoint) -> None:
+        self._points.append(point)
+        if len(self._points) > self.peak:
+            self.peak = len(self._points)
+
+    def clear(self) -> None:
+        self._points.clear()
+
+    def restart_from(self, points: Iterable[PlanePoint]) -> None:
+        """Replace the contents (new segment opened) without resetting peak."""
+        self._points = list(points)
+        if len(self._points) > self.peak:
+            self.peak = len(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[PlanePoint]:
+        return iter(self._points)
+
+    def __getitem__(self, idx: int) -> PlanePoint:
+        return self._points[idx]
+
+
+class CompressorBase(abc.ABC):
+    """Shared push/finish machinery for online compressors.
+
+    Subclasses implement :meth:`_ingest` (per-point decision, returning any
+    key points committed by that arrival plus the decision label) and
+    :meth:`_flush` (key points emitted at end of stream).  The base class
+    owns stream validation, key-point ordering, counting and lifecycle.
+    """
+
+    #: Short identifier; subclasses override.
+    name: str = "base"
+
+    def __init__(
+        self,
+        epsilon: float = math.inf,
+        metric: DistanceMetric = DistanceMetric.POINT_TO_LINE,
+    ) -> None:
+        if not (epsilon > 0.0):
+            raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+        self._epsilon = float(epsilon)
+        self._metric = metric
+        self._key_points: list[PlanePoint] = []
+        self._count = 0
+        self._last_t = -math.inf
+        self._finished = False
+        self._stats: dict[str, int] = {}
+
+    # -- public interface ---------------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def metric(self) -> DistanceMetric:
+        return self._metric
+
+    @property
+    def pushed(self) -> int:
+        """Number of points pushed so far."""
+        return self._count
+
+    @property
+    def key_points(self) -> tuple[PlanePoint, ...]:
+        """Key points committed so far (the stream tail is still open)."""
+        return tuple(self._key_points)
+
+    @property
+    def buffered_points(self) -> int:
+        """Points currently held in internal buffers (0 for O(1) algorithms)."""
+        return 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Per-decision counters accumulated during the stream."""
+        return dict(self._stats)
+
+    def push(self, point: PlanePoint) -> PushResult:
+        if self._finished:
+            raise RuntimeError(
+                f"{self.name}: finish() already called; reset() to reuse"
+            )
+        if not isinstance(point, PlanePoint):
+            raise TypeError(f"push expects PlanePoint, got {type(point).__name__}")
+        if point.t < self._last_t:
+            raise ValueError(
+                f"points must be non-decreasing in time "
+                f"({self._last_t} then {point.t})"
+            )
+        self._last_t = point.t
+        index = self._count
+        self._count += 1
+        committed, decided_by = self._ingest(point)
+        for key in committed:
+            self._emit(key)
+        self._stats[decided_by] = self._stats.get(decided_by, 0) + 1
+        return PushResult(index, tuple(committed), decided_by)
+
+    def finish(self) -> CompressedTrajectory:
+        if self._finished:
+            raise RuntimeError(f"{self.name}: finish() already called")
+        for key in self._flush():
+            self._emit(key)
+        self._finished = True
+        return CompressedTrajectory(
+            key_points=tuple(self._key_points),
+            original_count=self._count,
+            metric=self._metric,
+            tolerance=self._epsilon,
+            algorithm=self.name,
+            info=self._info(),
+        )
+
+    def reset(self) -> None:
+        """Reset the shared state, then the subclass state via _reset()."""
+        self._key_points = []
+        self._count = 0
+        self._last_t = -math.inf
+        self._finished = False
+        self._stats = {}
+        self._reset()
+
+    def compress(self, points: Iterable[PlanePoint]) -> CompressedTrajectory:
+        """One-pass convenience driver: reset, push everything, finish."""
+        self.reset()
+        for p in points:
+            self.push(p)
+        return self.finish()
+
+    # -- subclass contract --------------------------------------------------
+
+    @abc.abstractmethod
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        """Process one point; return (committed key points, decision label)."""
+
+    @abc.abstractmethod
+    def _flush(self) -> list[PlanePoint]:
+        """Key points to emit when the stream ends (e.g. the open tail)."""
+
+    def _reset(self) -> None:
+        """Clear subclass state; default no-op for stateless compressors."""
+
+    def _info(self) -> dict:
+        """Extra info recorded on the output; defaults to the stats counters."""
+        info: dict = {"decisions": dict(self._stats)}
+        return info
+
+    # -- helpers ------------------------------------------------------------
+
+    def _emit(self, point: PlanePoint) -> None:
+        """Append a key point, dropping exact consecutive duplicates."""
+        if self._key_points:
+            last = self._key_points[-1]
+            if (
+                last.x == point.x
+                and last.y == point.y
+                and last.t == point.t
+            ):
+                return
+        self._key_points.append(point)

@@ -1,0 +1,235 @@
+"""Baseline compressors the paper evaluates BQS against (Section VI).
+
+Two online baselines and two batch references, all behind the same
+:class:`~repro.compression.base.StreamingCompressor` interface:
+
+``UniformSampler``
+    Keeps every *k*-th point (plus the first and last).  O(1) state, no
+    error bound — the classic what-GPS-loggers-do reference point.
+
+``DeadReckoningCompressor``
+    Predicts each position from the last key point and its departure
+    velocity; commits a key point when the prediction error exceeds the
+    threshold.  O(1) state.  The prediction test bounds deviation from the
+    *velocity ray*, not from the chord between stored key points, so the
+    threshold is derated by ``safety_factor`` (default ½, following the
+    classic tube argument: interior points and the segment end both lie
+    within ε/2 of the ray, hence within ε of the chord).
+
+``DouglasPeucker``
+    The batch gold standard: buffers the stream and recursively splits at
+    the point of maximum deviation until every segment is within bound.
+
+``TDTRCompressor``
+    Time-ratio Douglas-Peucker (TD-TR): identical recursion but measured
+    with the *synchronized Euclidean distance* — each point is compared to
+    the position linearly interpolated at its own timestamp.  SED never
+    undershoots the point-to-line deviation (the synchronized position lies
+    on the chord's line), so a TD-TR output is error-bounded under the
+    paper's metric as well.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry.metrics import DistanceMetric, deviation as metric_deviation
+from ..model.point import PlanePoint
+from ..model.reconstruction import synchronized_deviation
+from .base import CompressorBase, Decision, PointBuffer
+
+__all__ = [
+    "UniformSampler",
+    "DeadReckoningCompressor",
+    "DouglasPeucker",
+    "TDTRCompressor",
+]
+
+
+class UniformSampler(CompressorBase):
+    """Keep every ``period``-th point; no error guarantee."""
+
+    name = "uniform"
+
+    def __init__(self, period: int, epsilon: float = math.inf) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period!r}")
+        super().__init__(epsilon)
+        self.period = int(period)
+        self._reset()
+
+    def _reset(self) -> None:
+        self._since_key = 0
+        self._tail: PlanePoint | None = None
+
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        first = self._tail is None
+        self._tail = point
+        if first:
+            self._since_key = 0
+            return [point], Decision.INIT
+        self._since_key += 1
+        if self._since_key >= self.period:
+            self._since_key = 0
+            return [point], Decision.PERIODIC
+        return [], Decision.PERIODIC
+
+    def _flush(self) -> list[PlanePoint]:
+        return [] if self._tail is None else [self._tail]
+
+
+class DeadReckoningCompressor(CompressorBase):
+    """Velocity-prediction compressor with O(1) state.
+
+    A segment opens at a key point; its velocity is estimated from the key
+    point and the first point that follows it.  Every later point is
+    compared against the position the velocity predicts for its timestamp;
+    the first point whose prediction error exceeds the (derated) threshold
+    closes the segment at its predecessor.
+    """
+
+    name = "dead-reckoning"
+
+    def __init__(
+        self,
+        epsilon: float,
+        metric: DistanceMetric = DistanceMetric.POINT_TO_LINE,
+        safety_factor: float = 0.5,
+    ) -> None:
+        if not math.isfinite(epsilon):
+            raise ValueError("dead reckoning needs a finite error bound")
+        if not 0.0 < safety_factor <= 1.0:
+            raise ValueError(f"safety_factor must be in (0, 1], got {safety_factor!r}")
+        super().__init__(epsilon, metric)
+        self.safety_factor = float(safety_factor)
+        self._threshold = epsilon * safety_factor
+        self._reset()
+
+    def _reset(self) -> None:
+        self._key: PlanePoint | None = None
+        self._velocity: tuple[float, float] | None = None
+        self._prev: PlanePoint | None = None
+
+    def _set_velocity(self, origin: PlanePoint, nxt: PlanePoint) -> None:
+        dt = nxt.t - origin.t
+        if dt > 0.0:
+            self._velocity = ((nxt.x - origin.x) / dt, (nxt.y - origin.y) / dt)
+        else:
+            # Co-timestamped fix: no usable velocity, predict stationarity.
+            self._velocity = (0.0, 0.0)
+
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        if self._key is None:
+            self._key = point
+            self._prev = point
+            return [point], Decision.INIT
+        if self._velocity is None:
+            self._set_velocity(self._key, point)
+            self._prev = point
+            return [], Decision.ACCEPT
+        dt = point.t - self._key.t
+        vx, vy = self._velocity
+        predicted_x = self._key.x + vx * dt
+        predicted_y = self._key.y + vy * dt
+        error = math.hypot(point.x - predicted_x, point.y - predicted_y)
+        if error <= self._threshold:
+            self._prev = point
+            return [], Decision.THRESHOLD
+        prev = self._prev
+        assert prev is not None
+        self._key = prev
+        self._set_velocity(prev, point)
+        self._prev = point
+        return [prev], Decision.THRESHOLD
+
+    def _flush(self) -> list[PlanePoint]:
+        return [] if self._prev is None else [self._prev]
+
+
+class _BatchCompressor(CompressorBase):
+    """Shared buffering/driver for the batch baselines (decide in finish)."""
+
+    def _reset(self) -> None:
+        self._buffer = PointBuffer()
+
+    @property
+    def buffered_points(self) -> int:
+        return len(self._buffer)
+
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        self._buffer.append(point)
+        return [], Decision.BATCH
+
+    def _flush(self) -> list[PlanePoint]:
+        points = list(self._buffer)
+        self._buffer.clear()
+        if not points:
+            return []
+        if len(points) <= 2:
+            return points
+        keep = self._select(points)
+        return [points[i] for i in sorted(keep)]
+
+    def _select(self, points: list[PlanePoint]) -> set[int]:
+        """Indices to keep; iterative split-at-worst-point recursion."""
+        keep = {0, len(points) - 1}
+        stack = [(0, len(points) - 1)]
+        while stack:
+            lo, hi = stack.pop()
+            if hi - lo < 2:
+                continue
+            worst = -1.0
+            worst_idx = -1
+            for i in range(lo + 1, hi):
+                d = self._split_distance(points[i], points[lo], points[hi])
+                if d > worst:
+                    worst = d
+                    worst_idx = i
+            if worst > self._epsilon:
+                keep.add(worst_idx)
+                stack.append((lo, worst_idx))
+                stack.append((worst_idx, hi))
+        return keep
+
+    def _split_distance(
+        self, p: PlanePoint, a: PlanePoint, b: PlanePoint
+    ) -> float:
+        raise NotImplementedError
+
+
+class DouglasPeucker(_BatchCompressor):
+    """Classic batch Douglas-Peucker under the configured deviation metric."""
+
+    name = "douglas-peucker"
+
+    def __init__(
+        self,
+        epsilon: float,
+        metric: DistanceMetric = DistanceMetric.POINT_TO_LINE,
+    ) -> None:
+        if not math.isfinite(epsilon):
+            raise ValueError("Douglas-Peucker needs a finite error bound")
+        super().__init__(epsilon, metric)
+        self._reset()
+
+    def _split_distance(
+        self, p: PlanePoint, a: PlanePoint, b: PlanePoint
+    ) -> float:
+        return metric_deviation(p.xy, a.xy, b.xy, self._metric)
+
+
+class TDTRCompressor(_BatchCompressor):
+    """Top-down time-ratio (TD-TR): Douglas-Peucker under the SED metric."""
+
+    name = "td-tr"
+
+    def __init__(self, epsilon: float) -> None:
+        if not math.isfinite(epsilon):
+            raise ValueError("TD-TR needs a finite error bound")
+        super().__init__(epsilon)
+        self._reset()
+
+    def _split_distance(
+        self, p: PlanePoint, a: PlanePoint, b: PlanePoint
+    ) -> float:
+        return synchronized_deviation(p, a, b)

@@ -1,0 +1,351 @@
+"""The Bounded Quadrant System compressor (paper Section V).
+
+BQS is a one-pass, error-bounded compressor.  It opens a segment at an
+*anchor* (the last committed key point) and, as points stream in, asks for
+each new point ``p`` whether every point seen since the anchor stays within
+``epsilon`` of the *path line* through the anchor and ``p``.  Answering that
+question exactly requires the whole segment's points; the paper's insight is
+that two cheap bounds decide almost every case without touching a buffer:
+
+* The plane around the anchor is split into four **quadrants** aligned with
+  the (UTM-projected) x and y axes.  A quadrant never spans more than π/2 of
+  polar angle, so its angular extremes are well defined.
+* Per quadrant, BQS maintains a **bounding box**, the extreme polar
+  **angles** (the two bounding lines), a **convex hull** of the quadrant's
+  points, and up to **eight significant points** — the actual trajectory
+  points attaining the box sides, the angular extremes and the nearest /
+  farthest distance from the anchor.
+* The quadrant's points all lie in the convex polygon ``box ∩ wedge``
+  (the *bounded area*), so the maximum deviation from any path line is at
+  most the maximum over that polygon's vertices — the **upper bound** of
+  Theorems 5.3–5.5.  The significant points are real points, so their
+  maximum deviation is a **lower bound**.
+
+On each arrival: if the upper bound is within ``epsilon`` the point is
+admitted with *no buffer access*; if the lower bound already exceeds
+``epsilon`` the previous point is committed as a key point, again without
+the buffer; only when the tolerance falls between the two bounds does BQS
+fall back to the exact deviation computed over the buffered segment points.
+The per-quadrant hulls summarise exactly those buffered points — point-to-
+line distance is convex, so the buffered maximum equals the maximum over
+the hull vertices (:meth:`QuadrantState.hull_max_deviation`, cross-checked
+against the buffer in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry.metrics import DistanceMetric
+from ..geometry.planar import (
+    Vec2,
+    angle_of,
+    convex_hull,
+    max_distance_to_line_origin,
+    min_distance_on_segment_to_line_origin,
+    norm,
+    point_in_convex_polygon,
+    point_line_distance_origin,
+    rectangle_corners,
+    wedge_box_polygon,
+)
+from ..model.point import PlanePoint
+from .base import CompressorBase, Decision, PointBuffer
+
+__all__ = ["QuadrantState", "BQSCompressor"]
+
+#: Significant-point slots per quadrant (paper: at most 8 per quadrant).
+_SIG_SLOTS = (
+    "min_x",
+    "max_x",
+    "min_y",
+    "max_y",
+    "min_theta",
+    "max_theta",
+    "min_r",
+    "max_r",
+)
+
+
+class QuadrantState:
+    """Per-quadrant summary: bounding box, bounding lines, hull, significant points.
+
+    All coordinates are anchor-relative (the anchor is the origin).  The
+    ``track_hull`` flag turns the convex-hull maintenance off for the
+    hull-free Fast-BQS variant, leaving the O(1) box/angle state only.
+    """
+
+    __slots__ = (
+        "min_x",
+        "min_y",
+        "max_x",
+        "max_y",
+        "theta_lo",
+        "theta_hi",
+        "count",
+        "track_hull",
+        "hull",
+        "_sig",
+        "_area",
+    )
+
+    def __init__(self, track_hull: bool = True) -> None:
+        self.min_x = math.inf
+        self.min_y = math.inf
+        self.max_x = -math.inf
+        self.max_y = -math.inf
+        self.theta_lo = math.inf
+        self.theta_hi = -math.inf
+        self.count = 0
+        self.track_hull = track_hull
+        self.hull: list[Vec2] = []
+        self._sig: dict[str, tuple[float, Vec2]] = {}
+        self._area: list[Vec2] | None = None
+
+    def add(self, v: Vec2) -> None:
+        """Fold one anchor-relative point into the quadrant summary."""
+        x, y = v
+        theta = angle_of(v)
+        r = norm(v)
+        self.count += 1
+        self._area = None  # box or wedge changed; the cached polygon is stale
+        if x < self.min_x:
+            self.min_x = x
+        if x > self.max_x:
+            self.max_x = x
+        if y < self.min_y:
+            self.min_y = y
+        if y > self.max_y:
+            self.max_y = y
+        if theta < self.theta_lo:
+            self.theta_lo = theta
+        if theta > self.theta_hi:
+            self.theta_hi = theta
+        if self.track_hull:
+            self._update_sig("min_x", x, v, lower=True)
+            self._update_sig("max_x", x, v, lower=False)
+            self._update_sig("min_y", y, v, lower=True)
+            self._update_sig("max_y", y, v, lower=False)
+            self._update_sig("min_theta", theta, v, lower=True)
+            self._update_sig("max_theta", theta, v, lower=False)
+            self._update_sig("min_r", r, v, lower=True)
+            self._update_sig("max_r", r, v, lower=False)
+            if not point_in_convex_polygon(v, self.hull):
+                self.hull = convex_hull([*self.hull, v])
+
+    def _update_sig(self, slot: str, value: float, v: Vec2, lower: bool) -> None:
+        cur = self._sig.get(slot)
+        if cur is None or (value < cur[0] if lower else value > cur[0]):
+            self._sig[slot] = (value, v)
+
+    def significant_points(self) -> list[Vec2]:
+        """The ≤8 distinct significant points (actual trajectory points)."""
+        seen: list[Vec2] = []
+        for slot in _SIG_SLOTS:
+            entry = self._sig.get(slot)
+            if entry is not None and entry[1] not in seen:
+                seen.append(entry[1])
+        return seen
+
+    def bounded_area(self) -> list[Vec2]:
+        """Vertices of the quadrant's box ∩ wedge polygon (the bounded area).
+
+        The polygon depends only on the quadrant state, not on the query's
+        path line, so it is cached between arrivals and rebuilt only when
+        :meth:`add` grows the box or widens the wedge.
+        """
+        if self.count == 0:
+            return []
+        if self._area is None:
+            poly = wedge_box_polygon(
+                self.min_x, self.min_y, self.max_x, self.max_y,
+                self.theta_lo, self.theta_hi,
+            )
+            if not poly:
+                # Numerically degenerate (e.g. a box collapsed to a point on
+                # a wedge edge): fall back to the box alone, still a valid
+                # bound.
+                poly = rectangle_corners(
+                    self.min_x, self.min_y, self.max_x, self.max_y
+                )
+            self._area = poly
+        return self._area
+
+    def upper_bound(self, direction: Vec2) -> float:
+        """Upper bound on the quadrant's max deviation from the path line."""
+        if self.count == 0:
+            return 0.0
+        return max_distance_to_line_origin(self.bounded_area(), direction)
+
+    def lower_bound(self, direction: Vec2) -> float:
+        """Lower bound on the quadrant's max deviation from the path line.
+
+        Two certificates, both witnessed by real trajectory points: the
+        deviation of each significant point, and — because every bounding
+        box edge is touched by at least one point — the minimum distance
+        from each box edge to the path line.
+        """
+        if self.count == 0:
+            return 0.0
+        best = max_distance_to_line_origin(self.significant_points(), direction)
+        corners = rectangle_corners(self.min_x, self.min_y, self.max_x, self.max_y)
+        for i in range(4):
+            d = min_distance_on_segment_to_line_origin(
+                corners[i], corners[(i + 1) % 4], direction
+            )
+            if d > best:
+                best = d
+        return best
+
+    def hull_max_deviation(self, direction: Vec2) -> float:
+        """Exact max deviation of the quadrant's points from the path line.
+
+        Point-to-line distance is a convex function of position, so its
+        maximum over the quadrant's points is attained at a convex-hull
+        vertex; scanning the hull is exact and usually far smaller than the
+        buffer.
+        """
+        return max_distance_to_line_origin(self.hull, direction)
+
+
+def quadrant_index(dx: float, dy: float) -> int:
+    """Quadrant of an anchor-relative offset: 0=NE, 1=NW, 2=SW, 3=SE."""
+    if dx >= 0.0:
+        return 0 if dy >= 0.0 else 3
+    return 1 if dy >= 0.0 else 2
+
+
+class BQSCompressor(CompressorBase):
+    """Full Bounded Quadrant System (convex hulls + buffered exact fallback)."""
+
+    name = "bqs"
+
+    def __init__(
+        self,
+        epsilon: float,
+        metric: DistanceMetric = DistanceMetric.POINT_TO_LINE,
+    ) -> None:
+        if not math.isfinite(epsilon):
+            raise ValueError("BQS needs a finite error bound")
+        if metric is not DistanceMetric.POINT_TO_LINE:
+            raise ValueError(
+                "BQS bounds are derived for the point-to-line deviation "
+                "metric (the paper's default); got " + metric.value
+            )
+        super().__init__(epsilon, metric)
+        self._reset()
+
+    # -- state --------------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._anchor: PlanePoint | None = None
+        self._prev: PlanePoint | None = None
+        self._quadrants: list[QuadrantState] = [
+            QuadrantState(track_hull=True) for _ in range(4)
+        ]
+        self._buffer = PointBuffer()
+        self._exact_accepts = 0
+        self._exact_commits = 0
+
+    @property
+    def buffered_points(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def buffer_peak(self) -> int:
+        """High-water mark of the exact-fallback buffer."""
+        return self._buffer.peak
+
+    # -- algorithm ----------------------------------------------------------
+
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        if self._anchor is None:
+            self._anchor = point
+            self._prev = point
+            return [point], Decision.INIT
+
+        anchor = self._anchor
+        if len(self._buffer) == 0:
+            # First point after the anchor: no interior points yet, the
+            # two-point segment is trivially within bound.
+            self._admit(point)
+            return [], Decision.ACCEPT
+
+        direction: Vec2 = (point.x - anchor.x, point.y - anchor.y)
+
+        upper = 0.0
+        for q in self._quadrants:
+            if q.count:
+                b = q.upper_bound(direction)
+                if b > upper:
+                    upper = b
+        if upper <= self._epsilon:
+            self._admit(point)
+            return [], Decision.UPPER_BOUND
+
+        lower = 0.0
+        for q in self._quadrants:
+            if q.count:
+                b = q.lower_bound(direction)
+                if b > lower:
+                    lower = b
+        if lower > self._epsilon:
+            key = self._split()
+            self._admit(point)
+            return [key], Decision.LOWER_BOUND
+
+        # epsilon falls between the bounds: buffered exact-deviation
+        # fallback over the segment's points.
+        exact = 0.0
+        ax, ay = anchor.x, anchor.y
+        for buffered in self._buffer:
+            d = point_line_distance_origin(
+                (buffered.x - ax, buffered.y - ay), direction
+            )
+            if d > exact:
+                exact = d
+        if exact <= self._epsilon:
+            self._exact_accepts += 1
+            self._admit(point)
+            return [], Decision.EXACT
+        self._exact_commits += 1
+        key = self._split()
+        self._admit(point)
+        return [key], Decision.EXACT
+
+    def _admit(self, point: PlanePoint) -> None:
+        """Record an accepted point in the quadrant structures and buffer."""
+        anchor = self._anchor
+        assert anchor is not None
+        v: Vec2 = (point.x - anchor.x, point.y - anchor.y)
+        self._quadrants[quadrant_index(v[0], v[1])].add(v)
+        self._buffer.append(point)
+        self._prev = point
+
+    def _split(self) -> PlanePoint:
+        """Commit the previous point as a key point and open a new segment.
+
+        Every admitted point was verified (by bound or exactly) against the
+        path line to the point admitted after it, so the segment ending at
+        ``prev`` honours the error bound; ``prev`` becomes the new anchor.
+        """
+        prev = self._prev
+        assert prev is not None
+        self._anchor = prev
+        self._prev = prev
+        for i in range(4):
+            self._quadrants[i] = QuadrantState(track_hull=True)
+        self._buffer.restart_from(())
+        return prev
+
+    def _flush(self) -> list[PlanePoint]:
+        if self._prev is None:
+            return []
+        return [self._prev]
+
+    def _info(self) -> dict:
+        info = super()._info()
+        info["exact_accepts"] = self._exact_accepts
+        info["exact_commits"] = self._exact_commits
+        info["buffer_peak"] = self._buffer.peak
+        return info

@@ -1,0 +1,126 @@
+"""Fast-BQS: the hull-free, constant-time-per-point variant (Section V-F).
+
+Fast-BQS keeps only the O(1) part of each quadrant's state — the bounding
+box and the two tracked extreme angles — and drops the convex hulls, the
+significant points and the buffer entirely.  Each arrival costs a constant
+amount of work (four quadrant upper bounds, each a scan of a ≤6-vertex
+polygon) and the compressor state is a fixed number of floats regardless of
+stream length.
+
+The price of losing the buffer is that the uncertain case (tolerance
+between the lower and upper bound) can no longer be resolved exactly:
+Fast-BQS commits a key point whenever the *upper* bound exceeds the
+tolerance.  That is conservative — the error bound still holds because a
+point is only ever admitted when the upper bound proves the whole open
+segment within ``epsilon`` — but it may split segments the full BQS would
+have kept, costing a little compression rate for a large constant-factor
+speedup and strictly bounded memory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry.metrics import DistanceMetric
+from ..geometry.planar import Vec2
+from ..model.point import PlanePoint
+from .base import CompressorBase, Decision
+from .bqs import QuadrantState, quadrant_index
+
+__all__ = ["FastBQSCompressor"]
+
+
+class FastBQSCompressor(CompressorBase):
+    """Bounding-box-and-angles-only BQS with O(1) state per point."""
+
+    name = "fast-bqs"
+
+    def __init__(
+        self,
+        epsilon: float,
+        metric: DistanceMetric = DistanceMetric.POINT_TO_LINE,
+    ) -> None:
+        if not math.isfinite(epsilon):
+            raise ValueError("Fast-BQS needs a finite error bound")
+        if metric is not DistanceMetric.POINT_TO_LINE:
+            raise ValueError(
+                "Fast-BQS bounds are derived for the point-to-line deviation "
+                "metric (the paper's default); got " + metric.value
+            )
+        super().__init__(epsilon, metric)
+        self._reset()
+
+    def _reset(self) -> None:
+        self._anchor: PlanePoint | None = None
+        self._prev: PlanePoint | None = None
+        self._interior = 0
+        self._quadrants: list[QuadrantState] = [
+            QuadrantState(track_hull=False) for _ in range(4)
+        ]
+
+    # Fast-BQS never buffers: `buffered_points` stays at the base's 0.
+
+    def state_point_count(self) -> int:
+        """Trajectory points retained in state (anchor + previous only).
+
+        The quadrant summaries hold aggregate floats, not points; this is
+        the quantity the O(1)-memory test pins down.
+        """
+        count = 0
+        if self._anchor is not None:
+            count += 1
+        if self._prev is not None and self._prev is not self._anchor:
+            count += 1
+        return count
+
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        if self._anchor is None:
+            self._anchor = point
+            self._prev = point
+            return [point], Decision.INIT
+
+        anchor = self._anchor
+        if self._interior == 0:
+            self._admit(point)
+            return [], Decision.ACCEPT
+
+        direction: Vec2 = (point.x - anchor.x, point.y - anchor.y)
+        upper = 0.0
+        for q in self._quadrants:
+            if q.count:
+                b = q.upper_bound(direction)
+                if b > upper:
+                    upper = b
+        if upper <= self._epsilon:
+            self._admit(point)
+            return [], Decision.UPPER_BOUND
+
+        # Uncertain or certain violation — without a buffer both are
+        # resolved the same conservative way: split at the previous point.
+        key = self._split()
+        self._admit(point)
+        return [key], Decision.UPPER_BOUND
+
+    def _admit(self, point: PlanePoint) -> None:
+        anchor = self._anchor
+        assert anchor is not None
+        dx = point.x - anchor.x
+        dy = point.y - anchor.y
+        self._quadrants[quadrant_index(dx, dy)].add((dx, dy))
+        self._interior += 1
+        self._prev = point
+
+    def _split(self) -> PlanePoint:
+        prev = self._prev
+        assert prev is not None
+        self._anchor = prev
+        self._prev = prev
+        self._interior = 0
+        for i in range(4):
+            self._quadrants[i] = QuadrantState(track_hull=False)
+        return prev
+
+    def _flush(self) -> list[PlanePoint]:
+        if self._prev is None:
+            return []
+        return [self._prev]

@@ -33,8 +33,13 @@ __all__ = [
     "max_deviation_to_line",
     "max_deviation_to_segment",
     "convex_hull",
+    "point_in_convex_polygon",
     "clip_polygon_halfplane",
     "rectangle_corners",
+    "ray_direction",
+    "wedge_box_polygon",
+    "max_distance_to_line_origin",
+    "min_distance_on_segment_to_line_origin",
 ]
 
 
@@ -183,6 +188,29 @@ def convex_hull(points: Sequence[Vec2]) -> list[Vec2]:
     return lower[:-1] + upper[:-1]
 
 
+def point_in_convex_polygon(p: Vec2, polygon: Sequence[Vec2]) -> bool:
+    """Whether ``p`` lies inside (or on) a counter-clockwise convex polygon.
+
+    Degenerate polygons (fewer than 3 vertices) only contain their own
+    vertices and the segment between them; that case is handled through the
+    same cross-product test (collinearity plus a bounding check).
+    """
+    n = len(polygon)
+    if n == 0:
+        return False
+    if n == 1:
+        return p == polygon[0]
+    if n == 2:
+        a, b = polygon
+        return point_segment_distance(p, a, b) <= 1e-12
+    for i in range(n):
+        a = polygon[i]
+        b = polygon[(i + 1) % n]
+        if cross((b[0] - a[0], b[1] - a[1]), (p[0] - a[0], p[1] - a[1])) < -1e-12:
+            return False
+    return True
+
+
 def clip_polygon_halfplane(
     polygon: Sequence[Vec2], a: Vec2, b: Vec2
 ) -> list[Vec2]:
@@ -231,3 +259,76 @@ def rectangle_corners(
         (max_x, max_y),
         (min_x, max_y),
     ]
+
+
+def ray_direction(theta: float) -> Vec2:
+    """Unit direction vector of the ray from the origin at angle ``theta``."""
+    return (math.cos(theta), math.sin(theta))
+
+
+def wedge_box_polygon(
+    min_x: float,
+    min_y: float,
+    max_x: float,
+    max_y: float,
+    theta_lo: float,
+    theta_hi: float,
+) -> list[Vec2]:
+    """The bounded area of one BQS quadrant: box ∩ wedge, about the origin.
+
+    The wedge is the set of points whose polar angle lies in
+    ``[theta_lo, theta_hi]``; the box is axis-aligned.  Both are expressed in
+    anchor-relative coordinates (the anchor is the origin), matching how the
+    Bounded Quadrant System keeps per-quadrant state.  The angular span must
+    be at most π — always true inside a single quadrant, which spans π/2 —
+    otherwise the two half-plane clips below would not describe the wedge.
+
+    Every point recorded in the quadrant lies inside the returned convex
+    polygon, so the maximum distance from any recorded point to a line
+    through the origin is bounded by the maximum over the polygon's vertices
+    (Theorems 5.3–5.5 of the paper).  Returns ``[]`` when box and wedge do
+    not intersect (numerically possible with degenerate boxes).
+    """
+    poly: list[Vec2] = rectangle_corners(min_x, min_y, max_x, max_y)
+    # Keep angle >= theta_lo: the half-plane to the left of origin -> lo ray.
+    poly = clip_polygon_halfplane(poly, (0.0, 0.0), ray_direction(theta_lo))
+    # Keep angle <= theta_hi: the half-plane to the left of hi ray -> origin.
+    poly = clip_polygon_halfplane(poly, ray_direction(theta_hi), (0.0, 0.0))
+    return poly
+
+
+def max_distance_to_line_origin(
+    points: Iterable[Vec2], direction: Vec2
+) -> float:
+    """Max distance from ``points`` to the origin line along ``direction``.
+
+    This is the vertex scan used for both BQS bounds: applied to a bounded
+    area polygon it yields the upper bound; applied to the quadrant's
+    significant points (which are actual trajectory points) it yields the
+    lower bound.
+    """
+    best = 0.0
+    for p in points:
+        d = point_line_distance_origin(p, direction)
+        if d > best:
+            best = d
+    return best
+
+
+def min_distance_on_segment_to_line_origin(
+    a: Vec2, b: Vec2, direction: Vec2
+) -> float:
+    """Min distance from any point of segment ``ab`` to the origin line.
+
+    Zero when the segment crosses the line.  A bounding-box edge is touched
+    by at least one actual trajectory point, so this is a valid per-edge
+    lower bound on the quadrant's maximum deviation.
+    """
+    denom = norm(direction)
+    if denom == 0.0:
+        return min(norm(a), norm(b))
+    sa = cross(direction, a) / denom
+    sb = cross(direction, b) / denom
+    if (sa <= 0.0 <= sb) or (sb <= 0.0 <= sa):
+        return 0.0
+    return min(abs(sa), abs(sb))

@@ -15,8 +15,10 @@ from .reconstruction import (
     ProgressDistribution,
     UniformProgress,
     interpolate,
+    max_synchronized_deviation,
     reconstruct_at,
     reconstruct_series,
+    synchronized_deviation,
 )
 from .statistics import EmpiricalDistribution, OnlineGaussian, RunningStats
 from .trajectory import (
@@ -48,10 +50,12 @@ __all__ = [
     "haversine_m",
     "interpolate",
     "iter_plane_points",
+    "max_synchronized_deviation",
     "project_track",
     "reconstruct_at",
     "reconstruct_series",
     "segment_deviation",
+    "synchronized_deviation",
     "unproject_track",
     "utm_zone_for",
 ]

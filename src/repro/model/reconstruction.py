@@ -35,6 +35,8 @@ __all__ = [
     "interpolate",
     "reconstruct_at",
     "reconstruct_series",
+    "synchronized_deviation",
+    "max_synchronized_deviation",
 ]
 
 
@@ -116,6 +118,73 @@ def reconstruct_at(
         t=t,
         z=interpolate(v_start.z, v_end.z, p),
     )
+
+
+def synchronized_deviation(
+    p: PlanePoint,
+    v_start: PlanePoint,
+    v_end: PlanePoint,
+    distribution: ProgressDistribution | None = None,
+) -> float:
+    """Synchronized Euclidean distance (SED) of ``p`` from a segment.
+
+    The distance between ``p`` and the position reconstructed on the
+    segment at ``p``'s own timestamp — the error metric TD-TR minimises and
+    the one the evaluation harness reports as "max SED".  Timestamps
+    outside the segment window are clamped by the progress distribution.
+    A zero-duration segment (co-timestamped key points) has no unique
+    reconstruction, so the nearer endpoint is used.
+    """
+    if v_end.t <= v_start.t:
+        return min(
+            math.hypot(p.x - v_start.x, p.y - v_start.y),
+            math.hypot(p.x - v_end.x, p.y - v_end.y),
+        )
+    dist = distribution if distribution is not None else UniformProgress()
+    prog = dist.progress(p.t, v_start.t, v_end.t)
+    x = interpolate(v_start.x, v_end.x, prog)
+    y = interpolate(v_start.y, v_end.y, prog)
+    return math.hypot(p.x - x, p.y - y)
+
+
+def max_synchronized_deviation(
+    compressed: CompressedTrajectory,
+    original: Sequence[PlanePoint],
+    distribution: ProgressDistribution | None = None,
+) -> float:
+    """Max SED of ``original`` against a compressed trajectory (0 if empty).
+
+    Each original point is measured against the compressed segment covering
+    its timestamp, mirroring
+    :meth:`~repro.model.trajectory.CompressedTrajectory.max_deviation_from`
+    but under temporal reconstruction instead of geometric deviation.
+    """
+    keys = compressed.key_points
+    if not keys or not original:
+        return 0.0
+    if len(keys) == 1:
+        only = keys[0]
+        return max(math.hypot(p.x - only.x, p.y - only.y) for p in original)
+    worst = 0.0
+    idx = 0
+    for p in original:
+        while idx + 2 < len(keys) and keys[idx + 1].t < p.t:
+            idx += 1
+        # Zero-duration segments (consecutive key points sharing a
+        # timestamp) make the representation multivalued at that instant;
+        # audit against the nearest covering segment.
+        best = math.inf
+        j = idx
+        while j + 1 < len(keys) and keys[j].t <= p.t:
+            d = synchronized_deviation(p, keys[j], keys[j + 1], distribution)
+            if d < best:
+                best = d
+            j += 1
+        if math.isinf(best):
+            best = synchronized_deviation(p, keys[idx], keys[idx + 1], distribution)
+        if best > worst:
+            worst = best
+    return worst
 
 
 def reconstruct_series(

@@ -22,6 +22,7 @@ instances; use :mod:`repro.model.projection` to get there from raw GPS.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -168,7 +169,11 @@ class CompressedTrajectory:
     original_count: int
     metric: DistanceMetric = DistanceMetric.POINT_TO_LINE
     tolerance: float = 0.0
-    #: Extra bookkeeping from the producing algorithm (e.g. pruning stats).
+    #: Short identifier of the producing compressor ("bqs", "td-tr", ...);
+    #: every algorithm in :mod:`repro.compression` stamps its name here so
+    #: evaluation output is self-describing.
+    algorithm: str = ""
+    #: Extra bookkeeping from the producing algorithm (e.g. decision stats).
     info: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -252,10 +257,23 @@ class CompressedTrajectory:
         seg_iter = list(zip(self.key_points, self.key_points[1:]))
         idx = 0
         for p in original:
-            while idx + 1 < len(seg_iter) and p.t > seg_iter[idx][1].t:
+            while idx + 1 < len(seg_iter) and seg_iter[idx][1].t < p.t:
                 idx += 1
-            a, b = seg_iter[idx]
-            d = metric_deviation(p.xy, a.xy, b.xy, self.metric)
-            if d > worst:
-                worst = d
+            # Several segments can cover p.t when consecutive key points
+            # share a timestamp (zero-duration segments, which push()
+            # permits); the compressed representation is multivalued there,
+            # so the point is audited against the nearest covering segment.
+            best = math.inf
+            j = idx
+            while j < len(seg_iter) and seg_iter[j][0].t <= p.t:
+                a, b = seg_iter[j]
+                d = metric_deviation(p.xy, a.xy, b.xy, self.metric)
+                if d < best:
+                    best = d
+                j += 1
+            if math.isinf(best):
+                a, b = seg_iter[idx]
+                best = metric_deviation(p.xy, a.xy, b.xy, self.metric)
+            if best > worst:
+                worst = best
         return worst

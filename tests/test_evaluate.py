@@ -1,0 +1,66 @@
+"""Evaluation harness tests: synthetic data, suite runs, CLI entry point."""
+
+import pytest
+
+from repro.compression import evaluate_suite, synthetic_track
+from repro.compression.evaluate import format_rows, main, synthetic_track as st
+
+
+class TestSyntheticTrack:
+    def test_deterministic_per_seed(self):
+        assert synthetic_track(50, seed=3) == synthetic_track(50, seed=3)
+        assert synthetic_track(50, seed=3) != synthetic_track(50, seed=4)
+
+    def test_timestamps_and_length(self):
+        pts = synthetic_track(100, seed=1, dt=2.0)
+        assert len(pts) == 100
+        assert [p.t for p in pts] == [2.0 * i for i in range(100)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            synthetic_track(0)
+
+
+class TestEvaluateSuite:
+    def test_all_algorithms_reported_and_bounded(self):
+        pts = synthetic_track(1500, seed=5)
+        rows = evaluate_suite(pts, epsilon=12.0)
+        names = {r.algorithm for r in rows}
+        assert {"bqs", "fast-bqs", "dead-reckoning", "uniform",
+                "douglas-peucker", "td-tr"} <= names
+        for row in rows:
+            assert row.original_points == 1500
+            assert 0 < row.key_points < 1500
+            assert row.push_seconds_per_point >= 0.0
+            if row.error_bounded:
+                assert row.within_bound, row.algorithm
+
+    def test_total_cost_includes_finish_work(self):
+        """Batch baselines do their compression in finish(); the comparable
+        per-point figure must include it."""
+        pts = synthetic_track(2000, seed=9)
+        rows = evaluate_suite(pts, epsilon=10.0)
+        by_name = {r.algorithm: r for r in rows}
+        dp = by_name["douglas-peucker"]
+        assert dp.finish_seconds > 0.0
+        assert dp.total_seconds_per_point > dp.push_seconds_per_point
+
+    def test_fast_bqs_never_buffers_in_evaluation(self):
+        pts = synthetic_track(1000, seed=6)
+        rows = evaluate_suite(pts, epsilon=10.0)
+        by_name = {r.algorithm: r for r in rows}
+        assert by_name["fast-bqs"].peak_buffered_points == 0
+        assert by_name["douglas-peucker"].peak_buffered_points == 1000
+
+    def test_format_rows_renders_table(self):
+        pts = synthetic_track(300, seed=2)
+        text = format_rows(evaluate_suite(pts, epsilon=10.0))
+        assert "bqs" in text and "max dev" in text
+
+
+class TestCLI:
+    def test_main_runs(self, capsys):
+        assert main(["--points", "400", "--epsilon", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "400 points" in out
+        assert "td-tr" in out

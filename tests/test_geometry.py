@@ -1,0 +1,166 @@
+"""Geometry kernel tests: distances, hulls, wedge/box bound helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import (
+    convex_hull,
+    max_distance_to_line_origin,
+    min_distance_on_segment_to_line_origin,
+    point_in_convex_polygon,
+    point_line_distance,
+    point_line_distance_origin,
+    point_segment_distance,
+    wedge_box_polygon,
+)
+from repro.geometry.planar import angle_of, cross
+
+
+class TestPointLineDistance:
+    def test_horizontal_line(self):
+        assert point_line_distance((0.0, 3.0), (-1.0, 0.0), (1.0, 0.0)) == pytest.approx(3.0)
+
+    def test_point_on_line(self):
+        assert point_line_distance((5.0, 5.0), (0.0, 0.0), (1.0, 1.0)) == pytest.approx(0.0)
+
+    def test_degenerate_line_is_point_distance(self):
+        assert point_line_distance((3.0, 4.0), (0.0, 0.0), (0.0, 0.0)) == pytest.approx(5.0)
+
+    def test_origin_variant_matches_general(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            p = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            d = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            assert point_line_distance_origin(p, d) == pytest.approx(
+                point_line_distance(p, (0.0, 0.0), d), abs=1e-9
+            )
+
+
+class TestPointSegmentDistance:
+    def test_projection_inside(self):
+        assert point_segment_distance((0.5, 2.0), (0.0, 0.0), (1.0, 0.0)) == pytest.approx(2.0)
+
+    def test_clamped_to_endpoint(self):
+        assert point_segment_distance((2.0, 0.0), (0.0, 0.0), (1.0, 0.0)) == pytest.approx(1.0)
+
+    def test_never_below_line_distance(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            p = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            a = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            b = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            assert point_segment_distance(p, a, b) >= point_line_distance(p, a, b) - 1e-9
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5), (0.2, 0.8)]
+        hull = convex_hull(pts)
+        assert sorted(hull) == [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)]
+
+    def test_hull_contains_all_points(self):
+        rng = random.Random(3)
+        pts = [(rng.uniform(-10, 10), rng.uniform(-10, 10)) for _ in range(200)]
+        hull = convex_hull(pts)
+        for p in pts:
+            assert point_in_convex_polygon(p, hull)
+
+    def test_hull_is_counter_clockwise(self):
+        rng = random.Random(4)
+        pts = [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(50)]
+        hull = convex_hull(pts)
+        n = len(hull)
+        for i in range(n):
+            o, a, b = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+            assert cross((a[0] - o[0], a[1] - o[1]), (b[0] - o[0], b[1] - o[1])) > 0
+
+    def test_collinear_and_tiny_inputs(self):
+        assert convex_hull([(0, 0)]) == [(0.0, 0.0)]
+        assert convex_hull([(0, 0), (1, 1), (2, 2)]) == [(0.0, 0.0), (2.0, 2.0)]
+
+
+class TestWedgeBoxHelpers:
+    def test_wedge_box_polygon_contains_conforming_points(self):
+        """Points inside both box and wedge stay inside the clipped polygon."""
+        rng = random.Random(5)
+        box = (1.0, 0.5, 6.0, 4.0)
+        for _ in range(20):
+            pts = [
+                (rng.uniform(box[0], box[2]), rng.uniform(box[1], box[3]))
+                for _ in range(30)
+            ]
+            angles = [angle_of(p) for p in pts]
+            lo, hi = min(angles), max(angles)
+            poly = wedge_box_polygon(*box, lo, hi)
+            for p in pts:
+                assert point_in_convex_polygon(p, poly)
+
+    def test_polygon_bound_dominates_member_points(self):
+        """Max vertex distance upper-bounds every member point's distance."""
+        rng = random.Random(6)
+        for _ in range(50):
+            pts = [(rng.uniform(0.1, 9), rng.uniform(0.1, 9)) for _ in range(25)]
+            min_x = min(p[0] for p in pts)
+            max_x = max(p[0] for p in pts)
+            min_y = min(p[1] for p in pts)
+            max_y = max(p[1] for p in pts)
+            angles = [angle_of(p) for p in pts]
+            poly = wedge_box_polygon(min_x, min_y, max_x, max_y, min(angles), max(angles))
+            direction = (rng.uniform(-1, 1), rng.uniform(-1, 1))
+            bound = max_distance_to_line_origin(poly, direction)
+            actual = max_distance_to_line_origin(pts, direction)
+            assert bound >= actual - 1e-9
+
+    def test_min_distance_on_segment_crossing_line_is_zero(self):
+        assert min_distance_on_segment_to_line_origin(
+            (1.0, -1.0), (1.0, 1.0), (1.0, 0.0)
+        ) == pytest.approx(0.0)
+
+    def test_min_distance_on_parallel_segment(self):
+        assert min_distance_on_segment_to_line_origin(
+            (0.0, 2.0), (5.0, 2.0), (1.0, 0.0)
+        ) == pytest.approx(2.0)
+
+    def test_min_distance_degenerate_direction(self):
+        assert min_distance_on_segment_to_line_origin(
+            (3.0, 4.0), (6.0, 8.0), (0.0, 0.0)
+        ) == pytest.approx(5.0)
+
+
+class TestProjectionRoundTrip:
+    def test_utm_round_trip_is_submillimetre(self):
+        from repro.model import UTMProjection
+
+        proj = UTMProjection.for_coordinate(-37.8136, 144.9631)  # Melbourne
+        rng = random.Random(7)
+        for _ in range(50):
+            lat = -37.8136 + rng.uniform(-0.05, 0.05)
+            lon = 144.9631 + rng.uniform(-0.05, 0.05)
+            x, y = proj.forward(lat, lon)
+            lat2, lon2 = proj.inverse(x, y)
+            assert lat2 == pytest.approx(lat, abs=1e-8)
+            assert lon2 == pytest.approx(lon, abs=1e-8)
+
+    def test_local_tangent_round_trip(self):
+        from repro.model import LocalTangentProjection
+
+        proj = LocalTangentProjection(48.8566, 2.3522)  # Paris
+        x, y = proj.forward(48.8600, 2.3600)
+        lat, lon = proj.inverse(x, y)
+        assert lat == pytest.approx(48.8600, abs=1e-9)
+        assert lon == pytest.approx(2.3600, abs=1e-9)
+
+    def test_utm_distances_match_haversine(self):
+        from repro.model import UTMProjection, haversine_m
+
+        proj = UTMProjection.for_coordinate(40.7128, -74.0060)  # New York
+        a = (40.7128, -74.0060)
+        b = (40.7300, -73.9900)
+        xa, ya = proj.forward(*a)
+        xb, yb = proj.forward(*b)
+        planar = math.hypot(xb - xa, yb - ya)
+        great_circle = haversine_m(*a, *b)
+        # UTM scale distortion is bounded by ~0.1% within a zone.
+        assert planar == pytest.approx(great_circle, rel=2e-3)

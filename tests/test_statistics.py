@@ -1,0 +1,73 @@
+"""Online statistics tests, including the empty-sample-set guard."""
+
+import math
+import statistics as stdlib_stats
+
+import pytest
+
+from repro.model import EmpiricalDistribution, OnlineGaussian, RunningStats
+
+
+class TestRunningStats:
+    def test_matches_stdlib(self):
+        data = [1.5, 2.0, 2.5, 10.0, -3.0, 0.25]
+        rs = RunningStats()
+        rs.extend(data)
+        assert rs.count == len(data)
+        assert rs.mean == pytest.approx(stdlib_stats.fmean(data))
+        assert rs.sample_variance == pytest.approx(stdlib_stats.variance(data))
+        assert rs.minimum == min(data)
+        assert rs.maximum == max(data)
+
+    def test_rejects_non_finite(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            rs.push(math.nan)
+
+    def test_merge_equals_sequential(self):
+        a, b, merged = RunningStats(), RunningStats(), RunningStats()
+        left = [1.0, 2.0, 3.0]
+        right = [10.0, 20.0]
+        a.extend(left)
+        b.extend(right)
+        merged.extend(left + right)
+        a.merge(b)
+        assert a.count == merged.count
+        assert a.mean == pytest.approx(merged.mean)
+        assert a.variance == pytest.approx(merged.variance)
+
+
+class TestEmpiricalDistribution:
+    def test_empty_samples_raise_value_error_at_construction(self):
+        """Regression guard: [] must fail loudly, not IndexError later."""
+        with pytest.raises(ValueError, match="at least one sample"):
+            EmpiricalDistribution([])
+
+    def test_non_finite_samples_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, math.inf])
+
+    def test_min_max_quantiles(self):
+        d = EmpiricalDistribution([3.0, 1.0, 2.0])
+        assert d.minimum == 1.0
+        assert d.maximum == 3.0
+        assert d.quantile(0.0) == 1.0
+        assert d.quantile(0.5) == 2.0
+        assert d.quantile(1.0) == 3.0
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+
+    def test_sample_clamps_variate(self):
+        d = EmpiricalDistribution([5.0, 6.0])
+        assert d.sample(-0.2) == 5.0
+        assert d.sample(1.7) == 6.0
+
+
+class TestOnlineGaussian:
+    def test_cdf_monotone(self):
+        g = OnlineGaussian()
+        for v in [0.0, 1.0, 2.0, 3.0, 4.0]:
+            g.observe(v)
+        values = [g.cdf(x / 2.0) for x in range(-4, 12)]
+        assert values == sorted(values)
+        assert g.cdf(g.mean) == pytest.approx(0.5)
