@@ -16,10 +16,15 @@ Three layers, lowest first:
     sampling, Douglas-Peucker, TD-TR — behind one online protocol, plus the
     evaluation harness.
 
+``repro.bench``
+    The reproducible benchmark subsystem (``python -m repro.bench``):
+    seeded synthetic workloads, a two-pass timing harness with built-in
+    correctness audits, and a comparison mode for recorded runs.
+
 The most common entry points are re-exported here.
 """
 
-from . import compression, geometry, model
+from . import bench, compression, geometry, model
 from .compression import (
     BQSCompressor,
     DeadReckoningCompressor,
@@ -54,6 +59,7 @@ __all__ = [
     "TDTRCompressor",
     "Trajectory",
     "UniformSampler",
+    "bench",
     "compression",
     "evaluate_suite",
     "geometry",

@@ -1,0 +1,53 @@
+"""Reproducible benchmark subsystem for the streaming compressors.
+
+Three pieces behind ``python -m repro.bench``:
+
+* :mod:`repro.bench.workloads` — seeded, stdlib-only synthetic streams
+  (random walk, grid-city driving, flight arcs, bursty stop-and-go);
+* :mod:`repro.bench.harness` — the two-pass timing harness (batched
+  throughput + per-push latency percentiles) with built-in error-bound and
+  fast-path-equivalence audits;
+* :mod:`repro.bench.compare` — diffing two recorded ``BENCH_*.json`` runs
+  and flagging regressions.
+
+See ``BENCHMARKS.md`` at the repo root for methodology and recorded
+results.
+"""
+
+from .compare import diff_benches, format_diff, load_bench_file
+from .harness import (
+    BenchError,
+    BenchRecord,
+    bench_compressor,
+    default_factories,
+    key_point_digest,
+    percentile,
+    run_bench,
+)
+from .workloads import (
+    WORKLOADS,
+    bursty_pause,
+    flight_arc,
+    make_workload,
+    random_walk,
+    vehicle_route,
+)
+
+__all__ = [
+    "BenchError",
+    "BenchRecord",
+    "WORKLOADS",
+    "bench_compressor",
+    "bursty_pause",
+    "default_factories",
+    "diff_benches",
+    "flight_arc",
+    "format_diff",
+    "key_point_digest",
+    "load_bench_file",
+    "make_workload",
+    "percentile",
+    "random_walk",
+    "run_bench",
+    "vehicle_route",
+]

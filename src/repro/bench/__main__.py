@@ -1,0 +1,195 @@
+"""CLI entry point: ``python -m repro.bench``.
+
+Two modes::
+
+    # run the suite and write BENCH_<date>.json (repo root by convention)
+    PYTHONPATH=src python -m repro.bench --points 100000 --epsilon 10
+
+    # small, fast run for CI (same workloads, 2000 points)
+    PYTHONPATH=src python -m repro.bench --smoke --out bench-smoke.json
+
+    # diff two recorded runs and flag regressions
+    PYTHONPATH=src python -m repro.bench compare OLD.json NEW.json --strict
+
+External reference numbers (e.g. the pre-optimization throughput this PR
+is measured against) can be recorded straight into the output with
+``--baseline name=value`` so one file carries both sides of a comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+from typing import Sequence
+
+from .compare import diff_benches, format_diff, load_bench_file
+from .harness import default_factories, run_bench
+from .workloads import WORKLOADS, make_workload
+
+__all__ = ["main"]
+
+_SMOKE_POINTS = 2_000
+
+
+def _parse_baseline(pairs: Sequence[str]) -> dict:
+    baselines = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--baseline expects name=value, got {pair!r}")
+        try:
+            baselines[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"--baseline value must be numeric, got {pair!r}")
+    return baselines
+
+
+def _format_records(records) -> str:
+    header = (
+        f"{'workload':<16}{'algorithm':<18}{'pts/s':>10}{'p50us':>8}"
+        f"{'p99us':>8}{'maxus':>9}{'keys':>8}{'rate':>7}{'max dev':>9}"
+        f"{'peak':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.workload:<16}{r.algorithm:<18}{r.points_per_sec:>10,.0f}"
+            f"{r.push_us_p50:>8.1f}{r.push_us_p99:>8.1f}{r.push_us_max:>9.1f}"
+            f"{r.key_points:>8}{r.compression_rate:>7.3f}"
+            f"{r.max_deviation:>9.2f}{r.peak_retained_points:>6}"
+        )
+    return "\n".join(lines)
+
+
+def main_run(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Benchmark the trajectory compressors on synthetic workloads.",
+    )
+    parser.add_argument("--points", type=int, default=100_000)
+    parser.add_argument("--epsilon", type=float, default=10.0, help="metres")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--uniform-period", type=int, default=10)
+    parser.add_argument(
+        "--workloads",
+        default=",".join(WORKLOADS),
+        help=f"comma-separated subset of: {', '.join(WORKLOADS)}",
+    )
+    parser.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated subset of: "
+        + ", ".join(default_factories(1.0)),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI-sized run ({_SMOKE_POINTS} points per workload)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_<date>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="record an external reference number in the output (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    # Validate before the (potentially minutes-long) run so a malformed
+    # flag fails in milliseconds instead of discarding every measurement.
+    baselines = _parse_baseline(args.baseline)
+    points_per_workload = _SMOKE_POINTS if args.smoke else args.points
+    if points_per_workload < 2:
+        raise SystemExit(f"--points must be >= 2, got {points_per_workload}")
+    workload_names = [w for w in args.workloads.split(",") if w]
+    algorithms = (
+        [a for a in args.algorithms.split(",") if a] if args.algorithms else None
+    )
+
+    workload_points = {}
+    for name in workload_names:
+        workload_points[name] = make_workload(name, points_per_workload, args.seed)
+
+    records = run_bench(
+        workload_points,
+        epsilon=args.epsilon,
+        uniform_period=args.uniform_period,
+        algorithms=algorithms,
+        progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+    )
+
+    out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
+    document = {
+        "schema": 1,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "workloads": {
+            name: {"points": len(pts), "seed": args.seed}
+            for name, pts in workload_points.items()
+        },
+        "baselines": baselines,
+        "results": [r.to_json() for r in records],
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(_format_records(records))
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+def main_compare(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench compare",
+        description="Diff two bench result files and flag regressions.",
+    )
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="flag pairs whose new throughput is below THRESHOLD x old",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when anything is flagged (off by default: timing noise)",
+    )
+    args = parser.parse_args(argv)
+
+    rows, flagged = diff_benches(
+        load_bench_file(args.old), load_bench_file(args.new), args.threshold
+    )
+    print(format_diff(rows))
+    if flagged:
+        print(f"\n{len(flagged)} pair(s) flagged")
+        if args.strict:
+            return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return main_compare(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    return main_run(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Diff two benchmark result files and flag regressions.
+
+``python -m repro.bench compare OLD.json NEW.json`` joins the two runs on
+``(workload, algorithm)`` and reports the throughput ratio for every pair
+present in both files.  A pair whose new throughput falls below
+``threshold × old`` is flagged as a regression; a pair whose key-point
+output changed size is flagged as a behaviour change (which is never
+timing noise).  The process exits non-zero for flags only under
+``--strict`` — machine-to-machine timing comparisons are advisory by
+default so CI can upload artifacts without failing on noise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+__all__ = ["load_bench_file", "diff_benches", "format_diff"]
+
+_Key = Tuple[str, str]
+
+
+def load_bench_file(path: str) -> dict:
+    """Load one ``BENCH_*.json`` document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise ValueError(f"{path}: not a bench result file (no 'results' key)")
+    return doc
+
+
+def _by_key(doc: dict) -> Dict[_Key, dict]:
+    return {(r["workload"], r["algorithm"]): r for r in doc["results"]}
+
+
+def diff_benches(
+    old: dict, new: dict, threshold: float = 0.8
+) -> Tuple[List[dict], List[dict]]:
+    """Compare two bench documents.
+
+    Returns ``(rows, flagged)``: one row per joined (workload, algorithm)
+    with old/new throughput and the ratio, and the subset flagged as a
+    regression (ratio below ``threshold``) or a behaviour change
+    (key-point count differs).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold!r}")
+    old_rows = _by_key(old)
+    new_rows = _by_key(new)
+    rows: List[dict] = []
+    flagged: List[dict] = []
+    for key in sorted(old_rows.keys() & new_rows.keys()):
+        o = old_rows[key]
+        n = new_rows[key]
+        old_pps = float(o["points_per_sec"])
+        new_pps = float(n["points_per_sec"])
+        ratio = new_pps / old_pps if old_pps > 0.0 else float("inf")
+        reasons = []
+        if ratio < threshold:
+            reasons.append(f"throughput fell to {ratio:.2f}x")
+        if o["points"] == n["points"]:
+            if o["key_points"] != n["key_points"]:
+                reasons.append(
+                    f"key points changed {o['key_points']} -> {n['key_points']}"
+                )
+            elif (
+                o.get("key_digest")
+                and n.get("key_digest")
+                and o["key_digest"] != n["key_digest"]
+            ):
+                # Same count, different points — still a behaviour change.
+                reasons.append("key points moved (same count, digest differs)")
+        row = {
+            "workload": key[0],
+            "algorithm": key[1],
+            "old_points_per_sec": old_pps,
+            "new_points_per_sec": new_pps,
+            "ratio": ratio,
+            "reasons": reasons,
+        }
+        rows.append(row)
+        if reasons:
+            flagged.append(row)
+    return rows, flagged
+
+
+def format_diff(rows: List[dict]) -> str:
+    """Plain-text comparison table with flags in the last column."""
+    header = (
+        f"{'workload':<16}{'algorithm':<18}{'old pts/s':>12}"
+        f"{'new pts/s':>12}{'ratio':>8}  flags"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['workload']:<16}{r['algorithm']:<18}"
+            f"{r['old_points_per_sec']:>12,.0f}"
+            f"{r['new_points_per_sec']:>12,.0f}"
+            f"{r['ratio']:>8.2f}  {'; '.join(r['reasons']) or 'ok'}"
+        )
+    return "\n".join(lines)

@@ -11,6 +11,9 @@ caller's point of view:
     ``push(point) -> PushResult`` folds one point into the stream and
     reports any key points committed by that arrival; ``finish()`` seals the
     stream and returns the :class:`~repro.model.trajectory.CompressedTrajectory`.
+    ``CompressorBase`` additionally offers ``push_many(points)``, a batched
+    fast path with bit-identical output that skips per-point result
+    allocation — the right call when nobody inspects individual arrivals.
 
 ``CompressorBase`` (ABC)
     The shared machinery: timestamp-monotonicity validation, key-point
@@ -55,10 +58,18 @@ class Decision:
     ACCEPT = "accept"  #: point folded into the open segment, no analysis
     UPPER_BOUND = "upper_bound"  #: quadrant upper bound proved deviation <= ε
     LOWER_BOUND = "lower_bound"  #: quadrant lower bound proved deviation > ε
-    EXACT = "exact"  #: buffered exact-deviation computation decided
+    EXACT_ACCEPT = "exact_accept"  #: exact deviation computed, point admitted
+    EXACT_COMMIT = "exact_commit"  #: exact deviation computed, segment split
     THRESHOLD = "threshold"  #: scalar threshold test (dead reckoning)
     PERIODIC = "periodic"  #: fixed-rate decision (uniform sampling)
     BATCH = "batch"  #: deferred to finish() (batch baselines)
+
+    #: .. deprecated:: PR 2
+    #:    ``EXACT`` conflated the accept and commit outcomes of the exact
+    #:    fallback; use :attr:`EXACT_ACCEPT` / :attr:`EXACT_COMMIT`.  Kept so
+    #:    external stats readers comparing against the old label keep
+    #:    importing, but no compressor records it any more.
+    EXACT = "exact"
 
 
 @dataclass(frozen=True)
@@ -97,6 +108,11 @@ class StreamingCompressor(Protocol):
 
     def push(self, point: PlanePoint) -> PushResult:
         """Fold one point into the stream; report committed key points."""
+        ...
+
+    def push_many(self, points: Iterable[PlanePoint]) -> int:
+        """Fold a batch of points in (same output as a ``push`` loop);
+        return how many were consumed."""
         ...
 
     def finish(self) -> CompressedTrajectory:
@@ -224,6 +240,28 @@ class CompressorBase(abc.ABC):
         self._stats[decided_by] = self._stats.get(decided_by, 0) + 1
         return PushResult(index, tuple(committed), decided_by)
 
+    def push_many(self, points: Iterable[PlanePoint]) -> int:
+        """Batched fast path: fold a whole chunk of points into the stream.
+
+        Produces *bit-identical* key points and stats to an equivalent loop
+        of :meth:`push` calls (the property tests pin this down), but skips
+        the per-point costs that only matter to callers inspecting each
+        arrival: no :class:`PushResult` is allocated, no per-point
+        ``isinstance`` check runs, and subclasses may bump plain integer
+        slot counters that are folded into the stats dict once per batch
+        (:meth:`_ingest_many`) rather than per point.  Timestamp
+        monotonicity is still enforced on every point.
+
+        Returns the number of points consumed.  Use :meth:`push` when the
+        per-point decision or committed key points are needed as they
+        happen.
+        """
+        if self._finished:
+            raise RuntimeError(
+                f"{self.name}: finish() already called; reset() to reuse"
+            )
+        return self._ingest_many(points)
+
     def finish(self) -> CompressedTrajectory:
         if self._finished:
             raise RuntimeError(f"{self.name}: finish() already called")
@@ -249,10 +287,17 @@ class CompressorBase(abc.ABC):
         self._reset()
 
     def compress(self, points: Iterable[PlanePoint]) -> CompressedTrajectory:
-        """One-pass convenience driver: reset, push everything, finish."""
+        """One-pass convenience driver: reset, push everything, finish.
+
+        Routed through :meth:`push_many`, so callers get the batched fast
+        path for free; the output is identical to a per-point push loop.
+        Like ``push_many`` — and unlike ``push`` — elements are trusted to
+        be :class:`~repro.model.point.PlanePoint` instances; a wrong type
+        fails with an ``AttributeError`` rather than ``push``'s
+        ``TypeError``.
+        """
         self.reset()
-        for p in points:
-            self.push(p)
+        self.push_many(points)
         return self.finish()
 
     # -- subclass contract --------------------------------------------------
@@ -260,6 +305,82 @@ class CompressorBase(abc.ABC):
     @abc.abstractmethod
     def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
         """Process one point; return (committed key points, decision label)."""
+
+    def _ingest_many(self, points: Iterable[PlanePoint]) -> int:
+        """Batch ingest behind :meth:`push_many`; returns points consumed.
+
+        The default drives :meth:`_ingest` in a tight loop with the stream
+        bookkeeping hoisted into locals.  Hot-path subclasses override this
+        with a loop that skips the per-point ``(committed, label)`` tuple
+        entirely and counts decisions in integer slots — the contract is
+        only that key points, counts and stats end up exactly as a
+        :meth:`push` loop would leave them, even when a point mid-batch
+        raises.
+        """
+        ingest = self._ingest
+        emit = self._emit
+        stats = self._stats
+        last_t = self._last_t
+        count = start = self._count
+        try:
+            for point in points:
+                t = point.t
+                if t < last_t:
+                    raise ValueError(
+                        f"points must be non-decreasing in time "
+                        f"({last_t} then {t})"
+                    )
+                last_t = t
+                count += 1
+                committed, decided_by = ingest(point)
+                for key in committed:
+                    emit(key)
+                stats[decided_by] = stats.get(decided_by, 0) + 1
+        finally:
+            self._last_t = last_t
+            self._count = count
+        return count - start
+
+    def _run_batch_stepped(
+        self,
+        points: Iterable[PlanePoint],
+        step,
+        labels: tuple[str, ...],
+    ) -> int:
+        """The slot-counter batch loop shared by hot-path subclasses.
+
+        ``step(point)`` returns ``(key_point_or_None, decision_slot)`` with
+        the slot indexing into ``labels``; the counters are folded into the
+        stats dict once, in the ``finally`` block, so stats stay consistent
+        with a :meth:`push` loop even when a point mid-batch raises.
+        """
+        emit = self._emit
+        counters = [0] * len(labels)
+        last_t = self._last_t
+        count = start = self._count
+        try:
+            for point in points:
+                t = point.t
+                if t < last_t:
+                    raise ValueError(
+                        f"points must be non-decreasing in time "
+                        f"({last_t} then {t})"
+                    )
+                last_t = t
+                count += 1
+                key, slot = step(point)
+                counters[slot] += 1
+                if key is not None:
+                    emit(key)
+        finally:
+            self._last_t = last_t
+            self._count = count
+            stats = self._stats
+            for slot, n in enumerate(counters):
+                if n:
+                    label = labels[slot]
+                    stats[label] = stats.get(label, 0) + n
+        return count - start
 
     @abc.abstractmethod
     def _flush(self) -> list[PlanePoint]:

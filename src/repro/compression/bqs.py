@@ -22,14 +22,32 @@ that two cheap bounds decide almost every case without touching a buffer:
   maximum deviation is a **lower bound**.
 
 On each arrival: if the upper bound is within ``epsilon`` the point is
-admitted with *no buffer access*; if the lower bound already exceeds
-``epsilon`` the previous point is committed as a key point, again without
-the buffer; only when the tolerance falls between the two bounds does BQS
-fall back to the exact deviation computed over the buffered segment points.
-The per-quadrant hulls summarise exactly those buffered points — point-to-
-line distance is convex, so the buffered maximum equals the maximum over
-the hull vertices (:meth:`QuadrantState.hull_max_deviation`, cross-checked
-against the buffer in the test suite).
+admitted; if the lower bound already exceeds ``epsilon`` the previous point
+is committed as a key point; only when the tolerance falls between the two
+bounds does BQS fall back to the exact deviation.  Point-to-line distance is
+convex in position, so the segment's exact maximum deviation is attained at
+a vertex of the per-quadrant convex hulls — the fallback scans the O(h)
+hull vertices, never a buffer of all n segment points.
+
+The hot path is deliberately allocation-lean (this is the "on the go" /
+per-point-cost claim of the paper):
+
+* hulls are maintained incrementally (:class:`~repro.geometry.planar.
+  IncrementalHull`, amortized O(log h) insert) instead of re-running the
+  batch hull on every arrival;
+* the bounded-area polygon is cached and re-cut only when an arrival
+  actually grows the box or widens the wedge;
+* the polar angle and radius of each arrival are computed once and shared
+  by the box, wedge, and significant-point updates;
+* both bounds and the exact fallback compare cross products against the
+  tolerance pre-scaled by the path-line norm, so no per-vertex ``hypot`` or
+  division runs;
+* a segment split reuses the four quadrant structures in place rather than
+  reallocating them.
+
+A full point buffer survives only behind the ``debug_audit`` flag, where
+every exact-fallback decision is cross-checked against a brute-force scan
+of the buffered segment points (and the test suite keeps that mode honest).
 """
 
 from __future__ import annotations
@@ -38,41 +56,58 @@ import math
 
 from ..geometry.metrics import DistanceMetric
 from ..geometry.planar import (
+    IncrementalHull,
     Vec2,
-    angle_of,
-    convex_hull,
+    max_abs_cross,
     max_distance_to_line_origin,
     min_distance_on_segment_to_line_origin,
-    norm,
-    point_in_convex_polygon,
-    point_line_distance_origin,
     rectangle_corners,
     wedge_box_polygon,
 )
 from ..model.point import PlanePoint
 from .base import CompressorBase, Decision, PointBuffer
 
-__all__ = ["QuadrantState", "BQSCompressor"]
+__all__ = ["QuadrantState", "BQSCompressor", "quadrant_index", "polar_angle"]
 
-#: Significant-point slots per quadrant (paper: at most 8 per quadrant).
-_SIG_SLOTS = (
-    "min_x",
-    "max_x",
-    "min_y",
-    "max_y",
-    "min_theta",
-    "max_theta",
-    "min_r",
-    "max_r",
+_TWO_PI = 2.0 * math.pi
+
+# Integer decision slots used by the batched ingest loops; the tuple maps a
+# slot back to the public Decision label when stats are folded in.
+_D_INIT = 0
+_D_ACCEPT = 1
+_D_UPPER = 2
+_D_LOWER = 3
+_D_EXACT_ACCEPT = 4
+_D_EXACT_COMMIT = 5
+_DECISION_LABELS = (
+    Decision.INIT,
+    Decision.ACCEPT,
+    Decision.UPPER_BOUND,
+    Decision.LOWER_BOUND,
+    Decision.EXACT_ACCEPT,
+    Decision.EXACT_COMMIT,
 )
+
+
+def polar_angle(x: float, y: float) -> float:
+    """Polar angle of ``(x, y)`` in ``[0, 2π)``; 0 for the origin itself.
+
+    Same convention as :func:`repro.geometry.planar.angle_of`, taking bare
+    coordinates so hot-path callers skip the tuple build.
+    """
+    if x == 0.0 and y == 0.0:
+        return 0.0
+    theta = math.atan2(y, x)
+    return theta + _TWO_PI if theta < 0.0 else theta
 
 
 class QuadrantState:
     """Per-quadrant summary: bounding box, bounding lines, hull, significant points.
 
     All coordinates are anchor-relative (the anchor is the origin).  The
-    ``track_hull`` flag turns the convex-hull maintenance off for the
-    hull-free Fast-BQS variant, leaving the O(1) box/angle state only.
+    ``track_hull`` flag turns the convex-hull and significant-point
+    maintenance off for the hull-free Fast-BQS variant, leaving the O(1)
+    box/angle state only.
     """
 
     __slots__ = (
@@ -82,69 +117,134 @@ class QuadrantState:
         "max_y",
         "theta_lo",
         "theta_hi",
+        "min_r",
+        "max_r",
         "count",
         "track_hull",
-        "hull",
-        "_sig",
+        "_hull",
         "_area",
+        "_p_min_x",
+        "_p_max_x",
+        "_p_min_y",
+        "_p_max_y",
+        "_p_theta_lo",
+        "_p_theta_hi",
+        "_p_min_r",
+        "_p_max_r",
     )
 
     def __init__(self, track_hull: bool = True) -> None:
+        self.track_hull = track_hull
+        self._hull: IncrementalHull | None = (
+            IncrementalHull() if track_hull else None
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the empty state, reusing the hull's allocations."""
         self.min_x = math.inf
         self.min_y = math.inf
         self.max_x = -math.inf
         self.max_y = -math.inf
         self.theta_lo = math.inf
         self.theta_hi = -math.inf
+        self.min_r = math.inf
+        self.max_r = -math.inf
         self.count = 0
-        self.track_hull = track_hull
-        self.hull: list[Vec2] = []
-        self._sig: dict[str, tuple[float, Vec2]] = {}
         self._area: list[Vec2] | None = None
+        self._p_min_x = None
+        self._p_max_x = None
+        self._p_min_y = None
+        self._p_max_y = None
+        self._p_theta_lo = None
+        self._p_theta_hi = None
+        self._p_min_r = None
+        self._p_max_r = None
+        if self._hull is not None:
+            self._hull.clear()
 
-    def add(self, v: Vec2) -> None:
-        """Fold one anchor-relative point into the quadrant summary."""
+    @property
+    def hull(self) -> list[Vec2]:
+        """Hull vertices (counter-clockwise); ``[]`` when hulls are off."""
+        if self._hull is None:
+            return []
+        return self._hull.vertices()
+
+    def add(self, v: Vec2, theta: float | None = None, r: float | None = None) -> int:
+        """Fold one anchor-relative point into the quadrant summary.
+
+        ``theta`` (polar angle in ``[0, 2π)``) and ``r`` (norm) may be
+        passed in when the caller already computed them for the arrival;
+        they are derived on demand otherwise.  Returns the net change in
+        hull vertex count (0 when hulls are off), which is also the net
+        change in trajectory points this quadrant retains.
+        """
         x, y = v
-        theta = angle_of(v)
-        r = norm(v)
+        if theta is None:
+            theta = polar_angle(x, y)
         self.count += 1
-        self._area = None  # box or wedge changed; the cached polygon is stale
+        grew = False
         if x < self.min_x:
             self.min_x = x
+            self._p_min_x = v
+            grew = True
         if x > self.max_x:
             self.max_x = x
+            self._p_max_x = v
+            grew = True
         if y < self.min_y:
             self.min_y = y
+            self._p_min_y = v
+            grew = True
         if y > self.max_y:
             self.max_y = y
+            self._p_max_y = v
+            grew = True
         if theta < self.theta_lo:
             self.theta_lo = theta
+            self._p_theta_lo = v
+            grew = True
         if theta > self.theta_hi:
             self.theta_hi = theta
-        if self.track_hull:
-            self._update_sig("min_x", x, v, lower=True)
-            self._update_sig("max_x", x, v, lower=False)
-            self._update_sig("min_y", y, v, lower=True)
-            self._update_sig("max_y", y, v, lower=False)
-            self._update_sig("min_theta", theta, v, lower=True)
-            self._update_sig("max_theta", theta, v, lower=False)
-            self._update_sig("min_r", r, v, lower=True)
-            self._update_sig("max_r", r, v, lower=False)
-            if not point_in_convex_polygon(v, self.hull):
-                self.hull = convex_hull([*self.hull, v])
-
-    def _update_sig(self, slot: str, value: float, v: Vec2, lower: bool) -> None:
-        cur = self._sig.get(slot)
-        if cur is None or (value < cur[0] if lower else value > cur[0]):
-            self._sig[slot] = (value, v)
+            self._p_theta_hi = v
+            grew = True
+        if grew:
+            # Only an actual box/wedge change invalidates the cached bounded
+            # area; points landing strictly inside it keep the cache warm.
+            self._area = None
+        if not self.track_hull:
+            return 0
+        if r is None:
+            r = math.hypot(x, y)
+        if r < self.min_r:
+            self.min_r = r
+            self._p_min_r = v
+        if r > self.max_r:
+            self.max_r = r
+            self._p_max_r = v
+        return self._hull.add(v)
 
     def significant_points(self) -> list[Vec2]:
-        """The ≤8 distinct significant points (actual trajectory points)."""
+        """The ≤8 distinct significant points (actual trajectory points).
+
+        Empty when ``track_hull`` is off — Fast-BQS never consults them and
+        keeps no per-point state.
+        """
+        if not self.track_hull:
+            return []
         seen: list[Vec2] = []
-        for slot in _SIG_SLOTS:
-            entry = self._sig.get(slot)
-            if entry is not None and entry[1] not in seen:
-                seen.append(entry[1])
+        for p in (
+            self._p_min_x,
+            self._p_max_x,
+            self._p_min_y,
+            self._p_max_y,
+            self._p_theta_lo,
+            self._p_theta_hi,
+            self._p_min_r,
+            self._p_max_r,
+        ):
+            if p is not None and p not in seen:
+                seen.append(p)
         return seen
 
     def bounded_area(self) -> list[Vec2]:
@@ -156,56 +256,129 @@ class QuadrantState:
         """
         if self.count == 0:
             return []
-        if self._area is None:
-            poly = wedge_box_polygon(
+        area = self._area
+        if area is None:
+            area = wedge_box_polygon(
                 self.min_x, self.min_y, self.max_x, self.max_y,
                 self.theta_lo, self.theta_hi,
             )
-            if not poly:
+            if not area:
                 # Numerically degenerate (e.g. a box collapsed to a point on
                 # a wedge edge): fall back to the box alone, still a valid
                 # bound.
-                poly = rectangle_corners(
+                area = rectangle_corners(
                     self.min_x, self.min_y, self.max_x, self.max_y
                 )
-            self._area = poly
-        return self._area
+            self._area = area
+        return area
+
+    # -- scaled bounds (hot path) -------------------------------------------
+    #
+    # The three methods below return distances multiplied by the path-line
+    # norm ``hypot(dx, dy)``: callers compare them against ``epsilon * norm``
+    # computed once per arrival, avoiding any per-vertex hypot/division.
+
+    def upper_cross(self, dx: float, dy: float) -> float:
+        """Scaled upper bound: max ``|cross|`` over the bounded area."""
+        area = self._area
+        if area is None:
+            area = self.bounded_area()
+        return max_abs_cross(area, dx, dy)
+
+    def lower_cross(self, dx: float, dy: float) -> float:
+        """Scaled lower bound, witnessed by real trajectory points.
+
+        Two certificates: the deviation of each significant point, and —
+        because every bounding-box edge is touched by at least one point —
+        the minimum distance from each box edge to the path line.
+        """
+        best = 0.0
+        for p in (
+            self._p_min_x,
+            self._p_max_x,
+            self._p_min_y,
+            self._p_max_y,
+            self._p_theta_lo,
+            self._p_theta_hi,
+            self._p_min_r,
+            self._p_max_r,
+        ):
+            if p is not None:
+                c = dx * p[1] - dy * p[0]
+                if c < 0.0:
+                    c = -c
+                if c > best:
+                    best = c
+        x0 = self.min_x
+        y0 = self.min_y
+        x1 = self.max_x
+        y1 = self.max_y
+        c00 = dx * y0 - dy * x0
+        c10 = dx * y0 - dy * x1
+        c11 = dx * y1 - dy * x1
+        c01 = dx * y1 - dy * x0
+        ca = c00
+        for cb in (c10, c11, c01, c00):
+            if not ((ca <= 0.0 <= cb) or (cb <= 0.0 <= ca)):
+                m = min(abs(ca), abs(cb))
+                if m > best:
+                    best = m
+            ca = cb
+        return best
+
+    def exact_cross(self, dx: float, dy: float) -> float:
+        """Scaled exact deviation: max ``|cross|`` over the hull vertices."""
+        return self._hull.max_abs_cross(dx, dy)
+
+    # -- unscaled API (tests, inspection, degenerate path-lines) ------------
 
     def upper_bound(self, direction: Vec2) -> float:
         """Upper bound on the quadrant's max deviation from the path line."""
         if self.count == 0:
             return 0.0
-        return max_distance_to_line_origin(self.bounded_area(), direction)
+        dx, dy = direction
+        denom = math.hypot(dx, dy)
+        if denom == 0.0:
+            return max_distance_to_line_origin(self.bounded_area(), direction)
+        return self.upper_cross(dx, dy) / denom
 
     def lower_bound(self, direction: Vec2) -> float:
-        """Lower bound on the quadrant's max deviation from the path line.
-
-        Two certificates, both witnessed by real trajectory points: the
-        deviation of each significant point, and — because every bounding
-        box edge is touched by at least one point — the minimum distance
-        from each box edge to the path line.
-        """
+        """Lower bound on the quadrant's max deviation from the path line."""
         if self.count == 0:
             return 0.0
-        best = max_distance_to_line_origin(self.significant_points(), direction)
-        corners = rectangle_corners(self.min_x, self.min_y, self.max_x, self.max_y)
-        for i in range(4):
-            d = min_distance_on_segment_to_line_origin(
-                corners[i], corners[(i + 1) % 4], direction
+        dx, dy = direction
+        denom = math.hypot(dx, dy)
+        if denom == 0.0:
+            best = max_distance_to_line_origin(
+                self.significant_points(), direction
             )
-            if d > best:
-                best = d
-        return best
+            corners = rectangle_corners(
+                self.min_x, self.min_y, self.max_x, self.max_y
+            )
+            for i in range(4):
+                d = min_distance_on_segment_to_line_origin(
+                    corners[i], corners[(i + 1) % 4], direction
+                )
+                if d > best:
+                    best = d
+            return best
+        return self.lower_cross(dx, dy) / denom
 
     def hull_max_deviation(self, direction: Vec2) -> float:
         """Exact max deviation of the quadrant's points from the path line.
 
         Point-to-line distance is a convex function of position, so its
         maximum over the quadrant's points is attained at a convex-hull
-        vertex; scanning the hull is exact and usually far smaller than the
-        buffer.
+        vertex; scanning the O(h) hull is exact and replaces any scan of
+        the segment's full point set.
         """
-        return max_distance_to_line_origin(self.hull, direction)
+        if self._hull is None or len(self._hull) == 0:
+            return 0.0
+        dx, dy = direction
+        denom = math.hypot(dx, dy)
+        if denom == 0.0:
+            return max_distance_to_line_origin(self._hull.vertices(), direction)
+        return self._hull.max_abs_cross(dx, dy) / denom
 
 
 def quadrant_index(dx: float, dy: float) -> int:
@@ -216,7 +389,13 @@ def quadrant_index(dx: float, dy: float) -> int:
 
 
 class BQSCompressor(CompressorBase):
-    """Full Bounded Quadrant System (convex hulls + buffered exact fallback)."""
+    """Full Bounded Quadrant System (convex hulls + exact hull fallback).
+
+    ``debug_audit=True`` additionally buffers every segment point and
+    cross-checks each exact-fallback decision against a brute-force scan of
+    the buffer, raising ``RuntimeError`` on divergence.  It exists for tests
+    and investigations; the production path never buffers.
+    """
 
     name = "bqs"
 
@@ -224,6 +403,7 @@ class BQSCompressor(CompressorBase):
         self,
         epsilon: float,
         metric: DistanceMetric = DistanceMetric.POINT_TO_LINE,
+        debug_audit: bool = False,
     ) -> None:
         if not math.isfinite(epsilon):
             raise ValueError("BQS needs a finite error bound")
@@ -233,6 +413,7 @@ class BQSCompressor(CompressorBase):
                 "metric (the paper's default); got " + metric.value
             )
         super().__init__(epsilon, metric)
+        self._debug_audit = bool(debug_audit)
         self._reset()
 
     # -- state --------------------------------------------------------------
@@ -240,86 +421,190 @@ class BQSCompressor(CompressorBase):
     def _reset(self) -> None:
         self._anchor: PlanePoint | None = None
         self._prev: PlanePoint | None = None
+        self._interior = 0
         self._quadrants: list[QuadrantState] = [
             QuadrantState(track_hull=True) for _ in range(4)
         ]
-        self._buffer = PointBuffer()
-        self._exact_accepts = 0
-        self._exact_commits = 0
+        self._buffer: PointBuffer | None = (
+            PointBuffer() if self._debug_audit else None
+        )
+        self._retained = 0
+        self._retained_peak = 0
 
     @property
     def buffered_points(self) -> int:
-        return len(self._buffer)
+        """Trajectory points retained in state: the four hulls' vertices.
+
+        The hulls hold actual (anchor-relative) trajectory points, so this
+        is the honest memory figure for the open segment — typically far
+        below the segment length.  The ``debug_audit`` buffer shadows these
+        points and is not double-counted.
+        """
+        return self._retained
 
     @property
     def buffer_peak(self) -> int:
-        """High-water mark of the exact-fallback buffer."""
-        return self._buffer.peak
+        """High-water mark of retained points across the stream."""
+        return self._retained_peak
+
+    @property
+    def audit_buffered(self) -> int:
+        """Points in the ``debug_audit`` buffer (0 when auditing is off)."""
+        return 0 if self._buffer is None else len(self._buffer)
 
     # -- algorithm ----------------------------------------------------------
 
-    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
-        if self._anchor is None:
+    def _step(self, point: PlanePoint) -> tuple[PlanePoint | None, int]:
+        """One arrival: returns (committed key point or None, decision slot).
+
+        Shared verbatim by the per-point and batched paths so their outputs
+        are bit-identical by construction.
+        """
+        anchor = self._anchor
+        if anchor is None:
             self._anchor = point
             self._prev = point
-            return [point], Decision.INIT
+            return point, _D_INIT
 
-        anchor = self._anchor
-        if len(self._buffer) == 0:
+        if self._interior == 0:
             # First point after the anchor: no interior points yet, the
             # two-point segment is trivially within bound.
             self._admit(point)
-            return [], Decision.ACCEPT
+            return None, _D_ACCEPT
 
-        direction: Vec2 = (point.x - anchor.x, point.y - anchor.y)
+        dx = point.x - anchor.x
+        dy = point.y - anchor.y
+        denom = math.hypot(dx, dy)
+        if denom == 0.0:
+            return self._step_degenerate(point)
+        scaled_eps = self._epsilon * denom
 
+        quadrants = self._quadrants
         upper = 0.0
-        for q in self._quadrants:
+        for q in quadrants:
+            if q.count:
+                c = q.upper_cross(dx, dy)
+                if c > upper:
+                    upper = c
+        if upper <= scaled_eps:
+            # Accept paths reuse the (dx, dy, denom) already computed for
+            # the bound checks; the anchor is unchanged.
+            self._admit_rel(point, dx, dy, denom)
+            return None, _D_UPPER
+
+        lower = 0.0
+        for q in quadrants:
+            if q.count:
+                c = q.lower_cross(dx, dy)
+                if c > lower:
+                    lower = c
+        if lower > scaled_eps:
+            key = self._split()
+            self._admit(point)
+            return key, _D_LOWER
+
+        # epsilon falls between the bounds: exact deviation over the
+        # per-quadrant hull vertices (convexity makes the hull scan exact).
+        exact = 0.0
+        for q in quadrants:
+            if q.count:
+                c = q.exact_cross(dx, dy)
+                if c > exact:
+                    exact = c
+        if self._buffer is not None:
+            self._audit_exact(anchor, dx, dy, exact)
+        if exact <= scaled_eps:
+            self._admit_rel(point, dx, dy, denom)
+            return None, _D_EXACT_ACCEPT
+        key = self._split()
+        self._admit(point)
+        return key, _D_EXACT_COMMIT
+
+    def _step_degenerate(self, point: PlanePoint) -> tuple[PlanePoint | None, int]:
+        """Arrival coinciding with the anchor: the path line collapses to a
+        point and every deviation becomes a plain distance to the anchor."""
+        direction: Vec2 = (0.0, 0.0)
+        eps = self._epsilon
+        quadrants = self._quadrants
+        upper = 0.0
+        for q in quadrants:
             if q.count:
                 b = q.upper_bound(direction)
                 if b > upper:
                     upper = b
-        if upper <= self._epsilon:
+        if upper <= eps:
             self._admit(point)
-            return [], Decision.UPPER_BOUND
-
+            return None, _D_UPPER
         lower = 0.0
-        for q in self._quadrants:
+        for q in quadrants:
             if q.count:
                 b = q.lower_bound(direction)
                 if b > lower:
                     lower = b
-        if lower > self._epsilon:
+        if lower > eps:
             key = self._split()
             self._admit(point)
-            return [key], Decision.LOWER_BOUND
-
-        # epsilon falls between the bounds: buffered exact-deviation
-        # fallback over the segment's points.
+            return key, _D_LOWER
         exact = 0.0
-        ax, ay = anchor.x, anchor.y
-        for buffered in self._buffer:
-            d = point_line_distance_origin(
-                (buffered.x - ax, buffered.y - ay), direction
-            )
-            if d > exact:
-                exact = d
-        if exact <= self._epsilon:
-            self._exact_accepts += 1
+        for q in quadrants:
+            if q.count:
+                d = q.hull_max_deviation(direction)
+                if d > exact:
+                    exact = d
+        if exact <= eps:
             self._admit(point)
-            return [], Decision.EXACT
-        self._exact_commits += 1
+            return None, _D_EXACT_ACCEPT
         key = self._split()
         self._admit(point)
-        return [key], Decision.EXACT
+        return key, _D_EXACT_COMMIT
+
+    def _audit_exact(
+        self, anchor: PlanePoint, dx: float, dy: float, hull_cross: float
+    ) -> None:
+        """Cross-check the hull-based exact deviation against the buffer."""
+        ax = anchor.x
+        ay = anchor.y
+        buffered = 0.0
+        for b in self._buffer:
+            c = dx * (b.y - ay) - dy * (b.x - ax)
+            if c < 0.0:
+                c = -c
+            if c > buffered:
+                buffered = c
+        if abs(buffered - hull_cross) > 1e-6 * max(1.0, buffered):
+            raise RuntimeError(
+                "bqs debug_audit: hull exact deviation diverged from the "
+                f"buffered scan (hull={hull_cross!r}, buffer={buffered!r})"
+            )
+
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        key, slot = self._step(point)
+        committed = [] if key is None else [key]
+        return committed, _DECISION_LABELS[slot]
+
+    def _ingest_many(self, points) -> int:
+        """Batched ingest: integer decision slots, no per-point allocation."""
+        return self._run_batch_stepped(points, self._step, _DECISION_LABELS)
 
     def _admit(self, point: PlanePoint) -> None:
-        """Record an accepted point in the quadrant structures and buffer."""
+        """Record an accepted point, deriving its anchor-relative offset."""
         anchor = self._anchor
-        assert anchor is not None
-        v: Vec2 = (point.x - anchor.x, point.y - anchor.y)
-        self._quadrants[quadrant_index(v[0], v[1])].add(v)
-        self._buffer.append(point)
+        dx = point.x - anchor.x
+        dy = point.y - anchor.y
+        self._admit_rel(point, dx, dy, math.hypot(dx, dy))
+
+    def _admit_rel(self, point: PlanePoint, dx: float, dy: float, r: float) -> None:
+        """Record an accepted point whose anchor-relative offset ``(dx, dy)``
+        and norm ``r`` the caller already computed (the accept hot path)."""
+        retained = self._retained + self._quadrants[quadrant_index(dx, dy)].add(
+            (dx, dy), polar_angle(dx, dy), r
+        )
+        self._retained = retained
+        if retained > self._retained_peak:
+            self._retained_peak = retained
+        if self._buffer is not None:
+            self._buffer.append(point)
+        self._interior += 1
         self._prev = point
 
     def _split(self) -> PlanePoint:
@@ -328,14 +613,18 @@ class BQSCompressor(CompressorBase):
         Every admitted point was verified (by bound or exactly) against the
         path line to the point admitted after it, so the segment ending at
         ``prev`` honours the error bound; ``prev`` becomes the new anchor.
+        The quadrant structures are reset in place, not reallocated.
         """
         prev = self._prev
         assert prev is not None
         self._anchor = prev
         self._prev = prev
-        for i in range(4):
-            self._quadrants[i] = QuadrantState(track_hull=True)
-        self._buffer.restart_from(())
+        self._interior = 0
+        self._retained = 0
+        for q in self._quadrants:
+            q.reset()
+        if self._buffer is not None:
+            self._buffer.restart_from(())
         return prev
 
     def _flush(self) -> list[PlanePoint]:
@@ -345,7 +634,10 @@ class BQSCompressor(CompressorBase):
 
     def _info(self) -> dict:
         info = super()._info()
-        info["exact_accepts"] = self._exact_accepts
-        info["exact_commits"] = self._exact_commits
-        info["buffer_peak"] = self._buffer.peak
+        stats = self._stats
+        info["exact_accepts"] = stats.get(Decision.EXACT_ACCEPT, 0)
+        info["exact_commits"] = stats.get(Decision.EXACT_COMMIT, 0)
+        info["retained_points_peak"] = self._retained_peak
+        if self._buffer is not None:
+            info["audit_buffer_peak"] = self._buffer.peak
         return info

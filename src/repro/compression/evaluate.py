@@ -106,6 +106,7 @@ class EvaluationRow:
     max_sed: float
     push_seconds_per_point: float
     finish_seconds: float
+    wall_seconds: float
     peak_buffered_points: int
     error_bounded: bool
 
@@ -119,6 +120,21 @@ class EvaluationRow:
         return self.push_seconds_per_point + self.finish_seconds / max(
             1, self.original_points
         )
+
+    @property
+    def points_per_second(self) -> float:
+        """Throughput over the whole run (pushes + finish), points/sec.
+
+        Same formula as the benchmark subsystem (:mod:`repro.bench`) —
+        original points divided by total wall time — but this harness
+        drives the per-point ``push()`` path and samples buffer occupancy
+        inside the timed region, so it reads somewhat lower than the bench
+        harness's batched throughput pass; compare it against the bench
+        *latency* pass, not the headline ``points_per_sec``.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.original_points / self.wall_seconds
 
     @property
     def within_bound(self) -> bool:
@@ -153,6 +169,7 @@ def evaluate_compressor(
         max_sed=max_synchronized_deviation(compressed, points),
         push_seconds_per_point=elapsed / max(1, len(points)),
         finish_seconds=finish_elapsed,
+        wall_seconds=elapsed + finish_elapsed,
         peak_buffered_points=peak_buffered,
         error_bounded=math.isfinite(compressor.epsilon),
     )
@@ -190,14 +207,16 @@ def format_rows(rows: Sequence[EvaluationRow]) -> str:
     """Plain-text comparison table."""
     header = (
         f"{'algorithm':<16}{'keys':>8}{'rate':>8}{'max dev':>10}"
-        f"{'max SED':>10}{'us/pt':>8}{'peak buf':>10}"
+        f"{'max SED':>10}{'us/pt':>8}{'pts/s':>10}{'wall s':>9}{'peak buf':>10}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
         lines.append(
             f"{r.algorithm:<16}{r.key_points:>8}{r.compression_rate:>8.3f}"
             f"{r.max_deviation:>10.2f}{r.max_sed:>10.2f}"
-            f"{r.total_seconds_per_point * 1e6:>8.1f}{r.peak_buffered_points:>10}"
+            f"{r.total_seconds_per_point * 1e6:>8.1f}"
+            f"{r.points_per_second:>10.0f}{r.wall_seconds:>9.3f}"
+            f"{r.peak_buffered_points:>10}"
         )
     return "\n".join(lines)
 

@@ -7,14 +7,19 @@ amount of work (four quadrant upper bounds, each a scan of a ≤6-vertex
 polygon) and the compressor state is a fixed number of floats regardless of
 stream length.
 
-The price of losing the buffer is that the uncertain case (tolerance
-between the lower and upper bound) can no longer be resolved exactly:
-Fast-BQS commits a key point whenever the *upper* bound exceeds the
-tolerance.  That is conservative — the error bound still holds because a
-point is only ever admitted when the upper bound proves the whole open
-segment within ``epsilon`` — but it may split segments the full BQS would
-have kept, costing a little compression rate for a large constant-factor
-speedup and strictly bounded memory.
+The price of losing the hulls is that the uncertain case (tolerance between
+the lower and upper bound) can no longer be resolved exactly: Fast-BQS
+commits a key point whenever the *upper* bound exceeds the tolerance.  That
+is conservative — the error bound still holds because a point is only ever
+admitted when the upper bound proves the whole open segment within
+``epsilon`` — but it may split segments the full BQS would have kept,
+costing a little compression rate for a large constant-factor speedup and
+strictly bounded memory.
+
+Like BQS, the hot path compares cross products against the tolerance
+pre-scaled by the path-line norm (no per-vertex ``hypot``), reuses the
+quadrant structures across segment splits, and ships a batched
+``_ingest_many`` that counts decisions in integer slots.
 """
 
 from __future__ import annotations
@@ -25,9 +30,16 @@ from ..geometry.metrics import DistanceMetric
 from ..geometry.planar import Vec2
 from ..model.point import PlanePoint
 from .base import CompressorBase, Decision
-from .bqs import QuadrantState, quadrant_index
+from .bqs import QuadrantState, polar_angle, quadrant_index
 
 __all__ = ["FastBQSCompressor"]
+
+# Integer decision slots for the batched ingest loop (Fast-BQS records the
+# conservative commit under the same upper-bound label as an accept).
+_D_INIT = 0
+_D_ACCEPT = 1
+_D_UPPER = 2
+_DECISION_LABELS = (Decision.INIT, Decision.ACCEPT, Decision.UPPER_BOUND)
 
 
 class FastBQSCompressor(CompressorBase):
@@ -73,40 +85,69 @@ class FastBQSCompressor(CompressorBase):
             count += 1
         return count
 
-    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
-        if self._anchor is None:
+    def _step(self, point: PlanePoint) -> tuple[PlanePoint | None, int]:
+        """One arrival; shared by the per-point and batched paths."""
+        anchor = self._anchor
+        if anchor is None:
             self._anchor = point
             self._prev = point
-            return [point], Decision.INIT
+            return point, _D_INIT
 
-        anchor = self._anchor
         if self._interior == 0:
             self._admit(point)
-            return [], Decision.ACCEPT
+            return None, _D_ACCEPT
 
-        direction: Vec2 = (point.x - anchor.x, point.y - anchor.y)
-        upper = 0.0
-        for q in self._quadrants:
-            if q.count:
-                b = q.upper_bound(direction)
-                if b > upper:
-                    upper = b
-        if upper <= self._epsilon:
-            self._admit(point)
-            return [], Decision.UPPER_BOUND
+        dx = point.x - anchor.x
+        dy = point.y - anchor.y
+        denom = math.hypot(dx, dy)
+        quadrants = self._quadrants
+        if denom == 0.0:
+            direction: Vec2 = (0.0, 0.0)
+            upper = 0.0
+            for q in quadrants:
+                if q.count:
+                    b = q.upper_bound(direction)
+                    if b > upper:
+                        upper = b
+            if upper <= self._epsilon:
+                self._admit(point)
+                return None, _D_UPPER
+        else:
+            scaled_eps = self._epsilon * denom
+            upper = 0.0
+            for q in quadrants:
+                if q.count:
+                    c = q.upper_cross(dx, dy)
+                    if c > upper:
+                        upper = c
+            if upper <= scaled_eps:
+                # Anchor unchanged: reuse the offset computed for the bound.
+                self._admit_rel(point, dx, dy)
+                return None, _D_UPPER
 
-        # Uncertain or certain violation — without a buffer both are
+        # Uncertain or certain violation — without the hulls both are
         # resolved the same conservative way: split at the previous point.
         key = self._split()
         self._admit(point)
-        return [key], Decision.UPPER_BOUND
+        return key, _D_UPPER
+
+    def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
+        key, slot = self._step(point)
+        committed = [] if key is None else [key]
+        return committed, _DECISION_LABELS[slot]
+
+    def _ingest_many(self, points) -> int:
+        """Batched ingest: integer decision slots, no per-point allocation."""
+        return self._run_batch_stepped(points, self._step, _DECISION_LABELS)
 
     def _admit(self, point: PlanePoint) -> None:
         anchor = self._anchor
-        assert anchor is not None
-        dx = point.x - anchor.x
-        dy = point.y - anchor.y
-        self._quadrants[quadrant_index(dx, dy)].add((dx, dy))
+        self._admit_rel(point, point.x - anchor.x, point.y - anchor.y)
+
+    def _admit_rel(self, point: PlanePoint, dx: float, dy: float) -> None:
+        self._quadrants[quadrant_index(dx, dy)].add(
+            (dx, dy), polar_angle(dx, dy)
+        )
         self._interior += 1
         self._prev = point
 
@@ -116,8 +157,8 @@ class FastBQSCompressor(CompressorBase):
         self._anchor = prev
         self._prev = prev
         self._interior = 0
-        for i in range(4):
-            self._quadrants[i] = QuadrantState(track_hull=False)
+        for q in self._quadrants:
+            q.reset()
         return prev
 
     def _flush(self) -> list[PlanePoint]:

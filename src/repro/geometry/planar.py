@@ -14,6 +14,7 @@ convex-hull and wedge-clipping utilities used by the bound-validation tests.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Iterable, Sequence
 
 Vec2 = tuple[float, float]
@@ -33,12 +34,14 @@ __all__ = [
     "max_deviation_to_line",
     "max_deviation_to_segment",
     "convex_hull",
+    "IncrementalHull",
     "point_in_convex_polygon",
     "clip_polygon_halfplane",
     "rectangle_corners",
     "ray_direction",
     "wedge_box_polygon",
     "max_distance_to_line_origin",
+    "max_abs_cross",
     "min_distance_on_segment_to_line_origin",
 ]
 
@@ -188,6 +191,136 @@ def convex_hull(points: Sequence[Vec2]) -> list[Vec2]:
     return lower[:-1] + upper[:-1]
 
 
+class IncrementalHull:
+    """Convex hull maintained under point insertion (semi-dynamic).
+
+    The hull is stored as the two monotone chains of Andrew's algorithm,
+    each sorted by ``(x, y)``.  Inserting a point locates its position with
+    a binary search, rejects it in O(log h) when it falls inside the current
+    hull, and otherwise splices it in and repairs convexity locally by
+    popping dominated neighbours — the same pops the batch monotone chain
+    would perform, so each point is inserted and removed at most once and
+    insertion is amortized O(log h) comparisons (plus the list memmove).
+
+    :meth:`vertices` reproduces :func:`convex_hull`'s output exactly — same
+    vertex set, same counter-clockwise order, collinear points dropped — a
+    correspondence the test suite cross-checks on random point sets.  The
+    one exception is *near*-collinear input (points collinear in exact
+    arithmetic but not as floats, e.g. GPS fixes along a straight road):
+    there the two implementations may keep different boundary-grazing
+    vertices, since at ULP scale the hull is ambiguous and insertion order
+    matters.  Both remain valid hulls of the input, and the property BQS
+    relies on — the max ``|cross|`` over vertices equals the max over all
+    inserted points — holds either way (also under test).
+    """
+
+    __slots__ = ("_lower", "_upper")
+
+    def __init__(self, points: Iterable[Vec2] = ()) -> None:
+        self._lower: list[Vec2] = []
+        self._upper: list[Vec2] = []
+        for p in points:
+            self.add(p)
+
+    def __len__(self) -> int:
+        n = len(self._lower)
+        if n <= 1:
+            return n
+        # The chains share their first and last vertices (min and max point).
+        return n + len(self._upper) - 2
+
+    def clear(self) -> None:
+        """Empty the hull, keeping the chain lists allocated."""
+        self._lower.clear()
+        self._upper.clear()
+
+    @staticmethod
+    def _insert(chain: list[Vec2], p: Vec2, orient: float) -> bool:
+        """Insert ``p`` into one monotone chain; ``orient`` is +1 for the
+        lower chain (interior triples turn left) and -1 for the upper.
+        Returns False when ``p`` lies on or inside the chain."""
+        i = bisect_left(chain, p)
+        n = len(chain)
+        if i < n and chain[i] == p:
+            return False
+        if 0 < i < n:
+            a = chain[i - 1]
+            b = chain[i]
+            if orient * (
+                (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+            ) >= 0.0:
+                return False  # on or interior-side of the chain edge
+        chain.insert(i, p)
+        # Pop neighbours to the right of p that stopped being convex.
+        while i + 2 < len(chain):
+            a, b, c = chain[i], chain[i + 1], chain[i + 2]
+            if orient * (
+                (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+            ) <= 0.0:
+                del chain[i + 1]
+            else:
+                break
+        # Pop neighbours to the left of p likewise.
+        while i >= 2:
+            a, b, c = chain[i - 2], chain[i - 1], chain[i]
+            if orient * (
+                (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+            ) <= 0.0:
+                del chain[i - 1]
+                i -= 1
+            else:
+                break
+        return True
+
+    def add(self, p: Vec2) -> int:
+        """Fold one point in; returns the net change in vertex count.
+
+        The delta can be negative (one insertion may pop several dominated
+        vertices) or zero even when the hull changed shape, so callers
+        tracking memory should accumulate it rather than test it.
+        """
+        before = len(self)
+        self._insert(self._lower, p, 1.0)
+        self._insert(self._upper, p, -1.0)
+        return len(self) - before
+
+    def vertices(self) -> list[Vec2]:
+        """Hull vertices, counter-clockwise, matching :func:`convex_hull`."""
+        lower = self._lower
+        if len(lower) <= 1:
+            return list(lower)
+        upper = self._upper
+        out = lower[:-1]
+        for i in range(len(upper) - 1, 0, -1):
+            out.append(upper[i])
+        return out
+
+    def max_abs_cross(self, dx: float, dy: float) -> float:
+        """``max |dx*y - dy*x|`` over the hull vertices (0 when empty).
+
+        Dividing by ``hypot(dx, dy)`` turns this into the exact maximum
+        distance from the hulled points to the origin line along
+        ``(dx, dy)`` — the distance is convex in position, so its maximum
+        over the original point set is attained at a hull vertex.  Keeping
+        the division out of the loop lets callers compare against a
+        pre-scaled tolerance.
+        """
+        best = 0.0
+        for x, y in self._lower:
+            c = dx * y - dy * x
+            if c < 0.0:
+                c = -c
+            if c > best:
+                best = c
+        for x, y in self._upper:
+            c = dx * y - dy * x
+            if c < 0.0:
+                c = -c
+            if c > best:
+                best = c
+        return best
+
+
 def point_in_convex_polygon(p: Vec2, polygon: Sequence[Vec2]) -> bool:
     """Whether ``p`` lies inside (or on) a counter-clockwise convex polygon.
 
@@ -266,6 +399,44 @@ def ray_direction(theta: float) -> Vec2:
     return (math.cos(theta), math.sin(theta))
 
 
+def _clip_left_of_origin_ray(
+    poly: Sequence[Vec2], dx: float, dy: float
+) -> list[Vec2]:
+    """Clip to ``dx*y - dy*x >= -1e-12`` (left of the origin ray along
+    ``(dx, dy)``) — :func:`clip_polygon_halfplane` unrolled for the
+    quadrant-rebuild hot path: the side values are computed once per vertex
+    and there is no per-vertex closure call."""
+    n = len(poly)
+    if n == 0:
+        return []
+    out: list[Vec2] = []
+    append = out.append
+    cur = poly[n - 1]
+    s_cur = dx * cur[1] - dy * cur[0]
+    cur_in = s_cur >= -1e-12
+    for i in range(n):
+        # Same emission rule as clip_polygon_halfplane (vertex, then the
+        # intersection on its out-edge); the output may start one edge
+        # earlier, which only rotates the cycle — orientation is preserved.
+        nxt = poly[i]
+        s_nxt = dx * nxt[1] - dy * nxt[0]
+        nxt_in = s_nxt >= -1e-12
+        if cur_in:
+            append(cur)
+        if cur_in != nxt_in:
+            t = s_cur / (s_cur - s_nxt)
+            append(
+                (
+                    cur[0] + t * (nxt[0] - cur[0]),
+                    cur[1] + t * (nxt[1] - cur[1]),
+                )
+            )
+        cur = nxt
+        s_cur = s_nxt
+        cur_in = nxt_in
+    return out
+
+
 def wedge_box_polygon(
     min_x: float,
     min_y: float,
@@ -289,12 +460,17 @@ def wedge_box_polygon(
     (Theorems 5.3–5.5 of the paper).  Returns ``[]`` when box and wedge do
     not intersect (numerically possible with degenerate boxes).
     """
-    poly: list[Vec2] = rectangle_corners(min_x, min_y, max_x, max_y)
-    # Keep angle >= theta_lo: the half-plane to the left of origin -> lo ray.
-    poly = clip_polygon_halfplane(poly, (0.0, 0.0), ray_direction(theta_lo))
-    # Keep angle <= theta_hi: the half-plane to the left of hi ray -> origin.
-    poly = clip_polygon_halfplane(poly, ray_direction(theta_hi), (0.0, 0.0))
-    return poly
+    # Keep angle >= theta_lo (left of the origin -> lo ray), then angle <=
+    # theta_hi (left of the hi ray -> origin, i.e. right of the origin ->
+    # hi ray: the same clip with the direction negated).
+    poly = _clip_left_of_origin_ray(
+        ((min_x, min_y), (max_x, min_y), (max_x, max_y), (min_x, max_y)),
+        math.cos(theta_lo),
+        math.sin(theta_lo),
+    )
+    return _clip_left_of_origin_ray(
+        poly, -math.cos(theta_hi), -math.sin(theta_hi)
+    )
 
 
 def max_distance_to_line_origin(
@@ -312,6 +488,24 @@ def max_distance_to_line_origin(
         d = point_line_distance_origin(p, direction)
         if d > best:
             best = d
+    return best
+
+
+def max_abs_cross(points: Iterable[Vec2], dx: float, dy: float) -> float:
+    """``max |dx*y - dy*x|`` over ``points`` (0 for no points).
+
+    This is :func:`max_distance_to_line_origin` scaled by ``hypot(dx, dy)``:
+    the BQS hot path computes crosses only and compares them against a
+    tolerance pre-multiplied by the direction norm, saving one ``hypot`` and
+    one division per vertex per arrival.
+    """
+    best = 0.0
+    for x, y in points:
+        c = dx * y - dy * x
+        if c < 0.0:
+            c = -c
+        if c > best:
+            best = c
     return best
 
 

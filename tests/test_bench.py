@@ -1,0 +1,213 @@
+"""Benchmark subsystem tests: workloads, harness, JSON output, compare mode."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    WORKLOADS,
+    BenchError,
+    bench_compressor,
+    diff_benches,
+    make_workload,
+    percentile,
+    run_bench,
+)
+from repro.bench.__main__ import main
+from repro.compression import BQSCompressor
+
+
+class TestWorkloads:
+    def test_registry_covers_the_four_regimes(self):
+        assert set(WORKLOADS) == {
+            "random_walk",
+            "vehicle_route",
+            "flight_arc",
+            "bursty_pause",
+        }
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_deterministic_seeded_and_monotone(self, name):
+        a = make_workload(name, 400, seed=3)
+        b = make_workload(name, 400, seed=3)
+        c = make_workload(name, 400, seed=4)
+        assert a == b
+        assert a != c
+        assert len(a) == 400
+        times = [p.t for p in a]
+        assert times == sorted(times)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("warp_drive", 10)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_workload_is_compressible_within_bound(self, name):
+        points = make_workload(name, 1500, seed=7)
+        compressed = BQSCompressor(10.0).compress(points)
+        assert 1 < len(compressed) < len(points)
+        assert compressed.max_deviation_from(points) <= 10.0 * (1.0 + 1e-9)
+
+
+class TestHarness:
+    def test_percentile_nearest_rank(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(vals, 50.0) == 2.0
+        assert percentile(vals, 99.0) == 4.0
+        assert percentile([], 50.0) == 0.0
+
+    def test_bench_compressor_record_fields(self):
+        points = make_workload("random_walk", 900, seed=7)
+        record = bench_compressor(
+            lambda: BQSCompressor(10.0), points, "random_walk"
+        )
+        assert record.algorithm == "bqs"
+        assert record.points == 900
+        assert record.points_per_sec > 0.0
+        assert 0.0 < record.push_us_p50 <= record.push_us_p99 <= record.push_us_max
+        assert record.within_bound is True
+        assert record.peak_retained_points > 0
+        assert sum(record.decisions.values()) == 900
+        # Digest pins the exact output: same stream, same algorithm -> same.
+        again = bench_compressor(
+            lambda: BQSCompressor(10.0), points, "random_walk"
+        )
+        assert record.key_digest == again.key_digest
+        assert len(record.key_digest) == 16
+        payload = record.to_json()
+        assert payload["workload"] == "random_walk"
+        json.dumps(payload)  # JSON-serializable
+
+    def test_run_bench_covers_selection(self):
+        workloads = {
+            "random_walk": make_workload("random_walk", 300, seed=1),
+            "bursty_pause": make_workload("bursty_pause", 300, seed=1),
+        }
+        records = run_bench(workloads, epsilon=10.0, algorithms=["bqs", "uniform"])
+        assert {(r.workload, r.algorithm) for r in records} == {
+            ("random_walk", "bqs"),
+            ("random_walk", "uniform"),
+            ("bursty_pause", "bqs"),
+            ("bursty_pause", "uniform"),
+        }
+        for r in records:
+            if r.error_bounded:
+                assert r.within_bound is True
+            else:
+                assert r.within_bound is None
+
+    def test_run_bench_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithms"):
+            run_bench({"random_walk": []}, epsilon=10.0, algorithms=["nope"])
+
+    def test_bench_error_is_a_runtime_error(self):
+        assert issubclass(BenchError, RuntimeError)
+
+
+class TestCLI:
+    def test_run_writes_json_document(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "--points", "400",
+                "--workloads", "random_walk,flight_arc",
+                "--algorithms", "bqs,fast-bqs,uniform",
+                "--baseline", "pre_pr_bqs_pps=1234.5",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1
+        assert doc["baselines"] == {"pre_pr_bqs_pps": 1234.5}
+        assert doc["workloads"]["random_walk"]["points"] == 400
+        keys = {(r["workload"], r["algorithm"]) for r in doc["results"]}
+        assert keys == {
+            (w, a)
+            for w in ("random_walk", "flight_arc")
+            for a in ("bqs", "fast-bqs", "uniform")
+        }
+        for r in doc["results"]:
+            assert r["points_per_sec"] > 0
+            assert "push_us_p50" in r and "push_us_p99" in r
+        assert "wrote" in capsys.readouterr().out
+
+    def test_smoke_flag_overrides_point_count(self, tmp_path):
+        out = tmp_path / "smoke.json"
+        code = main(
+            [
+                "--smoke",
+                "--workloads", "random_walk",
+                "--algorithms", "uniform",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["smoke"] is True
+        assert doc["workloads"]["random_walk"]["points"] == 2000
+
+    def test_compare_flags_regression_and_strict_exit(self, tmp_path, capsys):
+        def bench_doc(pps, keys=50):
+            return {
+                "schema": 1,
+                "results": [
+                    {
+                        "workload": "random_walk",
+                        "algorithm": "bqs",
+                        "points": 1000,
+                        "points_per_sec": pps,
+                        "key_points": keys,
+                    }
+                ],
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(bench_doc(100_000.0)))
+        new.write_text(json.dumps(bench_doc(30_000.0)))
+
+        assert main(["compare", str(old), str(new)]) == 0  # advisory
+        assert "throughput fell" in capsys.readouterr().out
+        assert main(["compare", str(old), str(new), "--strict"]) == 1
+        # No regression above the threshold: strict passes.
+        new.write_text(json.dumps(bench_doc(95_000.0)))
+        assert main(["compare", str(old), str(new), "--strict"]) == 0
+
+    def test_compare_flags_behaviour_change(self, tmp_path, capsys):
+        def bench_doc(keys, digest="aaaa"):
+            return {
+                "schema": 1,
+                "results": [
+                    {
+                        "workload": "random_walk",
+                        "algorithm": "bqs",
+                        "points": 1000,
+                        "points_per_sec": 100_000.0,
+                        "key_points": keys,
+                        "key_digest": digest,
+                    }
+                ],
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(bench_doc(50)))
+        new.write_text(json.dumps(bench_doc(61)))
+        assert main(["compare", str(old), str(new), "--strict"]) == 1
+        assert "key points changed" in capsys.readouterr().out
+        # Same count but moved points: caught via the digest.
+        old.write_text(json.dumps(bench_doc(50, digest="aaaa")))
+        new.write_text(json.dumps(bench_doc(50, digest="bbbb")))
+        assert main(["compare", str(old), str(new), "--strict"]) == 1
+        assert "digest differs" in capsys.readouterr().out
+        # Old files without digests stay comparable (no spurious flag).
+        doc = bench_doc(50)
+        del doc["results"][0]["key_digest"]
+        old.write_text(json.dumps(doc))
+        new.write_text(json.dumps(bench_doc(50, digest="bbbb")))
+        assert main(["compare", str(old), str(new), "--strict"]) == 0
+
+    def test_diff_benches_threshold_validation(self):
+        with pytest.raises(ValueError):
+            diff_benches({"results": []}, {"results": []}, threshold=0.0)

@@ -148,11 +148,15 @@ class TestBQSBufferBehaviour:
         c.finish()
         stats = c.stats
         assert stats.get(Decision.UPPER_BOUND, 0) > 0
-        exact = stats.get(Decision.EXACT, 0)
+        exact = stats.get(Decision.EXACT_ACCEPT, 0) + stats.get(
+            Decision.EXACT_COMMIT, 0
+        )
         bound_decided = stats.get(Decision.UPPER_BOUND, 0) + stats.get(
             Decision.LOWER_BOUND, 0
         )
         assert bound_decided > exact  # exact computation is the minority path
+        # The pre-split "exact" label is deprecated and no longer recorded.
+        assert Decision.EXACT not in stats
 
     def test_lower_bound_commits_without_exact_check(self):
         """A sharp 90-degree excursion is refuted by the lower bound alone."""
@@ -166,26 +170,40 @@ class TestBQSBufferBehaviour:
         c.finish()
         assert c.stats.get(Decision.LOWER_BOUND, 0) > 0
 
-    def test_buffer_clears_on_segment_split(self, track):
+    def test_retained_state_clears_on_segment_split(self, track):
         c = BQSCompressor(EPSILON)
         saw_nonempty = False
         for p in track[:2000]:
             result = c.push(p)
             if result.committed and result.decided_by != Decision.INIT:
-                # The fallback buffer restarts with the freshly opened segment.
+                # The quadrant hulls restart with the freshly opened segment.
                 assert c.buffered_points == 1
             saw_nonempty = saw_nonempty or c.buffered_points > 1
         assert saw_nonempty
+
+    def test_default_mode_keeps_no_buffer_and_sublinear_state(self, track):
+        """The production path retains hull vertices only — no point buffer,
+        and far fewer retained points than the longest segment."""
+        c = BQSCompressor(EPSILON)
+        for p in track[:5000]:
+            c.push(p)
+        assert c._buffer is None
+        assert c.audit_buffered == 0
+        assert 0 < c.buffer_peak < 5000
+        longest_segment = max(
+            b.t - a.t for a, b in zip(c.key_points, c.key_points[1:])
+        )
+        assert c.buffer_peak < longest_segment
 
     def test_bounds_bracket_exact_deviation(self, track):
         """lower <= exact <= upper on live quadrant state, many arrivals."""
         from repro.geometry import max_distance_to_line_origin
 
-        c = BQSCompressor(EPSILON)
+        c = BQSCompressor(EPSILON, debug_audit=True)
         checked = 0
         for p in track[:1500]:
             anchor = c._anchor
-            if anchor is not None and c.buffered_points >= 2:
+            if anchor is not None and c.audit_buffered >= 2:
                 direction = (p.x - anchor.x, p.y - anchor.y)
                 interior = [
                     (q.x - anchor.x, q.y - anchor.y) for q in c._buffer
@@ -203,11 +221,11 @@ class TestBQSBufferBehaviour:
         """Hull-vertex max deviation equals the buffered exact deviation."""
         from repro.geometry import max_distance_to_line_origin
 
-        c = BQSCompressor(EPSILON)
+        c = BQSCompressor(EPSILON, debug_audit=True)
         checked = 0
         for p in track[:1200]:
             anchor = c._anchor
-            if anchor is not None and c.buffered_points >= 2:
+            if anchor is not None and c.audit_buffered >= 2:
                 direction = (p.x - anchor.x, p.y - anchor.y)
                 buffered = [
                     (q.x - anchor.x, q.y - anchor.y) for q in c._buffer

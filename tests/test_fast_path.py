@@ -1,0 +1,277 @@
+"""Fast-path equivalence and incremental-geometry correctness.
+
+The optimized machinery this suite pins down:
+
+* ``push_many()`` (batched, allocation-lean) must produce *identical* key
+  points, stats and outputs to a per-point ``push()`` loop for every
+  compressor, across seeds and an epsilon sweep;
+* the optimized BQS (hull-based exact fallback, cached bounded areas) must
+  agree with the ``debug_audit`` reference mode, which cross-checks every
+  exact decision against a brute-force buffer scan;
+* :class:`repro.geometry.planar.IncrementalHull` must reproduce the batch
+  :func:`repro.geometry.planar.convex_hull` exactly under insertion.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.compression import (
+    BQSCompressor,
+    DeadReckoningCompressor,
+    DouglasPeucker,
+    FastBQSCompressor,
+    TDTRCompressor,
+    UniformSampler,
+    synthetic_track,
+)
+from repro.compression.bqs import QuadrantState
+from repro.geometry.planar import IncrementalHull, convex_hull
+from repro.model import PlanePoint
+
+
+def _factories(epsilon):
+    return [
+        lambda: BQSCompressor(epsilon),
+        lambda: FastBQSCompressor(epsilon),
+        lambda: DeadReckoningCompressor(epsilon),
+        lambda: UniformSampler(7, epsilon=epsilon),
+        lambda: DouglasPeucker(epsilon),
+        lambda: TDTRCompressor(epsilon),
+    ]
+
+
+class TestPushManyEquivalence:
+    @pytest.mark.parametrize("epsilon", [2.5, 5.0, 10.0, 25.0])
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_batched_path_is_bit_identical(self, epsilon, seed):
+        track = synthetic_track(3000, seed=seed)
+        for make in _factories(epsilon):
+            per_point = make()
+            for p in track:
+                per_point.push(p)
+            reference = per_point.finish()
+
+            batched = make()
+            consumed = batched.push_many(track)
+            fast = batched.finish()
+
+            assert consumed == len(track)
+            assert fast.key_points == reference.key_points, batched.name
+            assert batched.stats == per_point.stats, batched.name
+            assert batched.pushed == per_point.pushed
+            assert fast.info == reference.info, batched.name
+
+    def test_push_many_chunks_equal_one_batch(self):
+        track = synthetic_track(2000, seed=3)
+        whole = BQSCompressor(10.0)
+        whole.push_many(track)
+        chunked = BQSCompressor(10.0)
+        for start in range(0, len(track), 257):
+            chunked.push_many(track[start:start + 257])
+        assert whole.finish().key_points == chunked.finish().key_points
+
+    def test_push_many_mixes_with_push(self):
+        track = synthetic_track(1200, seed=11)
+        mixed = BQSCompressor(10.0)
+        mixed.push_many(track[:500])
+        for p in track[500:700]:
+            mixed.push(p)
+        mixed.push_many(track[700:])
+        pure = BQSCompressor(10.0)
+        for p in track:
+            pure.push(p)
+        assert mixed.finish().key_points == pure.finish().key_points
+        assert mixed.stats == pure.stats
+
+    def test_push_many_validates_time_monotonicity(self):
+        c = FastBQSCompressor(10.0)
+        bad = [PlanePoint(0.0, 0.0, 2.0), PlanePoint(1.0, 0.0, 1.0)]
+        with pytest.raises(ValueError):
+            c.push_many(bad)
+        # The valid prefix was consumed; the stream stays usable.
+        assert c.pushed == 1
+        c.push(PlanePoint(2.0, 0.0, 3.0))
+
+    def test_push_many_after_finish_rejected(self):
+        c = BQSCompressor(10.0)
+        c.push(PlanePoint(0.0, 0.0, 0.0))
+        c.finish()
+        with pytest.raises(RuntimeError):
+            c.push_many([PlanePoint(1.0, 0.0, 1.0)])
+
+    def test_compress_uses_batched_path(self):
+        track = synthetic_track(800, seed=5)
+        by_compress = BQSCompressor(10.0).compress(track)
+        by_loop = BQSCompressor(10.0)
+        for p in track:
+            by_loop.push(p)
+        assert by_compress.key_points == by_loop.finish().key_points
+
+
+class TestOptimizedBQSMatchesAuditReference:
+    """The hull-based exact fallback vs the buffered brute-force reference."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    @pytest.mark.parametrize("epsilon", [3.0, 10.0])
+    def test_key_points_and_stats_identical(self, seed, epsilon):
+        track = synthetic_track(4000, seed=seed, noise_sigma=1.5)
+        optimized = BQSCompressor(epsilon)
+        audited = BQSCompressor(epsilon, debug_audit=True)
+        fast = optimized.compress(track)
+        # debug_audit raises RuntimeError internally if the hull-based
+        # exact deviation ever diverges from the buffered scan.
+        reference = audited.compress(track)
+        assert fast.key_points == reference.key_points
+        assert optimized.stats == audited.stats
+        assert fast.max_deviation_from(track) <= epsilon * (1.0 + 1e-9)
+
+    def test_stationary_stream_with_repeated_fixes(self):
+        """Co-located points exercise the degenerate (zero-length) path line."""
+        fix = [PlanePoint(5.0, 5.0, float(i)) for i in range(200)]
+        for make in (
+            lambda: BQSCompressor(4.0),
+            lambda: BQSCompressor(4.0, debug_audit=True),
+        ):
+            compressed = make().compress(fix)
+            assert len(compressed) == 2
+
+    def test_audit_mode_buffers_and_default_does_not(self):
+        track = synthetic_track(1000, seed=9)
+        audited = BQSCompressor(10.0, debug_audit=True)
+        plain = BQSCompressor(10.0)
+        for p in track:
+            audited.push(p)
+            plain.push(p)
+        assert audited.audit_buffered > 0
+        assert plain.audit_buffered == 0
+        assert plain._buffer is None
+
+
+class TestIncrementalHull:
+    def _point_sets(self):
+        rng = random.Random(42)
+        sets = []
+        for trial in range(120):
+            n = rng.randint(1, 150)
+            kind = trial % 6
+            pts = []
+            for _ in range(n):
+                if kind == 0:
+                    pts.append((rng.uniform(-50, 50), rng.uniform(-50, 50)))
+                elif kind == 1:  # integer lattice: duplicates + collinear runs
+                    pts.append((float(rng.randint(-4, 4)), float(rng.randint(-4, 4))))
+                elif kind == 2:  # exactly-representable collinear run
+                    s = float(rng.randint(-9, 9))
+                    pts.append((s, 2.0 * s - 3.0))
+                elif kind == 3:  # vertical line
+                    pts.append((3.0, rng.uniform(-9, 9)))
+                elif kind == 4:  # tight cluster (near-degenerate geometry)
+                    pts.append((rng.gauss(0, 1e-3), rng.gauss(0, 1e-3)))
+                else:  # circle rim: every point is a hull vertex
+                    a = rng.uniform(0, 2 * math.pi)
+                    pts.append((math.cos(a), math.sin(a)))
+            sets.append(pts)
+        return sets
+
+    def test_matches_batch_convex_hull_exactly(self):
+        for pts in self._point_sets():
+            hull = IncrementalHull()
+            for p in pts:
+                hull.add(p)
+            assert hull.vertices() == convex_hull(pts)
+            assert len(hull) == len(convex_hull(pts))
+
+    def test_matches_batch_hull_at_every_prefix(self):
+        rng = random.Random(1)
+        pts = [(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(80)]
+        hull = IncrementalHull()
+        for i, p in enumerate(pts, start=1):
+            hull.add(p)
+            assert hull.vertices() == convex_hull(pts[:i]), f"prefix {i}"
+
+    def test_near_collinear_noise_keeps_bounding_property(self):
+        """Points collinear only up to fp rounding: the incremental and
+        batch hulls may legitimately pick different boundary-grazing
+        vertices, but the property BQS relies on — the hull's max cross
+        equals the max over *all* points — must survive."""
+        rng = random.Random(2)
+        for _ in range(30):
+            pts = []
+            for _ in range(rng.randint(3, 120)):
+                s = rng.uniform(-9, 9)
+                pts.append((s, -1.5 * s + 2.0))  # inexact sum: ULP noise
+            hull = IncrementalHull(pts)
+            for _ in range(10):
+                dx, dy = rng.uniform(-3, 3), rng.uniform(-3, 3)
+                brute = max(abs(dx * y - dy * x) for x, y in pts)
+                assert hull.max_abs_cross(dx, dy) == pytest.approx(
+                    brute, rel=1e-9, abs=1e-9
+                )
+
+    def test_add_returns_net_vertex_delta(self):
+        hull = IncrementalHull()
+        assert hull.add((0.0, 0.0)) == 1
+        assert hull.add((2.0, 0.0)) == 1
+        assert hull.add((1.0, 2.0)) == 1
+        assert hull.add((1.0, 0.5)) == 0  # interior: nothing retained
+        assert hull.add((0.0, 0.0)) == 0  # duplicate vertex
+        assert len(hull) == 3
+
+    def test_max_abs_cross_agrees_with_vertex_scan(self):
+        rng = random.Random(9)
+        for pts in self._point_sets()[:40]:
+            hull = IncrementalHull(pts)
+            dx, dy = rng.uniform(-3, 3), rng.uniform(-3, 3)
+            expected = max(
+                (abs(dx * y - dy * x) for x, y in hull.vertices()),
+                default=0.0,
+            )
+            assert hull.max_abs_cross(dx, dy) == pytest.approx(expected, abs=0.0)
+
+    def test_clear_reuses_state(self):
+        hull = IncrementalHull([(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)])
+        hull.clear()
+        assert len(hull) == 0
+        assert hull.vertices() == []
+        hull.add((3.0, 3.0))
+        assert hull.vertices() == [(3.0, 3.0)]
+
+
+class TestQuadrantCache:
+    def test_interior_point_keeps_bounded_area_cache(self):
+        q = QuadrantState(track_hull=True)
+        q.add((1.0, 1.0))
+        q.add((6.0, 2.0))
+        q.add((3.0, 6.0))
+        area = q.bounded_area()
+        # A point strictly inside box ∩ wedge must not thrash the cache.
+        q.add((3.0, 2.5))
+        assert q.bounded_area() is area
+        # A point growing the box must invalidate it.
+        q.add((8.0, 2.0))
+        assert q.bounded_area() is not area
+
+    def test_wedge_widening_invalidates_cache(self):
+        q = QuadrantState(track_hull=True)
+        q.add((4.0, 1.0))
+        q.add((4.0, 3.0))
+        q.add((10.0, 1.5))
+        area = q.bounded_area()
+        # Inside the box, but widens the wedge (shallower polar angle).
+        q.add((10.0, 1.2))
+        assert q.bounded_area() is not area
+
+    def test_cached_area_still_bounds_all_points(self):
+        rng = random.Random(5)
+        q = QuadrantState(track_hull=True)
+        pts = []
+        for _ in range(300):
+            p = (rng.uniform(0.1, 30.0), rng.uniform(0.1, 30.0))
+            pts.append(p)
+            q.add(p)
+            direction = (rng.uniform(-1, 1), rng.uniform(-1, 1))
+            upper = q.upper_bound(direction)
+            exact = q.hull_max_deviation(direction)
+            assert upper >= exact - 1e-9
