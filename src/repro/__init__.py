@@ -16,6 +16,11 @@ Three layers, lowest first:
     sampling, Douglas-Peucker, TD-TR — behind one online protocol, plus the
     evaluation harness.
 
+``repro.engine``
+    The multi-stream fleet engine: multiplex thousands of device streams
+    over per-device compressors, with bounded-memory eviction policies and
+    an optional sharded multiprocessing mode.
+
 ``repro.bench``
     The reproducible benchmark subsystem (``python -m repro.bench``):
     seeded synthetic workloads, a two-pass timing harness with built-in
@@ -24,7 +29,7 @@ Three layers, lowest first:
 The most common entry points are re-exported here.
 """
 
-from . import bench, compression, geometry, model
+from . import bench, compression, engine, geometry, model
 from .compression import (
     BQSCompressor,
     DeadReckoningCompressor,
@@ -36,6 +41,7 @@ from .compression import (
     evaluate_suite,
     synthetic_track,
 )
+from .engine import ShardedStreamEngine, StreamEngine
 from .geometry import DistanceMetric
 from .model import (
     CompressedTrajectory,
@@ -43,6 +49,7 @@ from .model import (
     PlanePoint,
     Segment,
     Trajectory,
+    TrajectoryColumns,
 )
 
 __all__ = [
@@ -55,12 +62,16 @@ __all__ = [
     "LocationPoint",
     "PlanePoint",
     "Segment",
+    "ShardedStreamEngine",
+    "StreamEngine",
     "StreamingCompressor",
     "TDTRCompressor",
     "Trajectory",
+    "TrajectoryColumns",
     "UniformSampler",
     "bench",
     "compression",
+    "engine",
     "evaluate_suite",
     "geometry",
     "model",

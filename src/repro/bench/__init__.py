@@ -1,20 +1,23 @@
 """Reproducible benchmark subsystem for the streaming compressors.
 
-Three pieces behind ``python -m repro.bench``:
+Four pieces behind ``python -m repro.bench``:
 
 * :mod:`repro.bench.workloads` — seeded, stdlib-only synthetic streams
   (random walk, grid-city driving, flight arcs, bursty stop-and-go);
-* :mod:`repro.bench.harness` — the two-pass timing harness (batched
-  throughput + per-push latency percentiles) with built-in error-bound and
-  fast-path-equivalence audits;
+* :mod:`repro.bench.harness` — the three-pass timing harness (batched
+  object throughput + columnar throughput + per-push latency percentiles)
+  with built-in error-bound and path-equivalence audits;
+* :mod:`repro.bench.fleet` — the multi-stream fleet benchmark (per-device
+  ceiling vs the single-process engine vs the sharded engine);
 * :mod:`repro.bench.compare` — diffing two recorded ``BENCH_*.json`` runs
-  and flagging regressions.
+  and flagging regressions (behaviour changes separately from timing).
 
 See ``BENCHMARKS.md`` at the repo root for methodology and recorded
 results.
 """
 
 from .compare import diff_benches, format_diff, load_bench_file
+from .fleet import FleetRecord, fleet_digest, run_fleet_bench
 from .harness import (
     BenchError,
     BenchRecord,
@@ -36,11 +39,13 @@ from .workloads import (
 __all__ = [
     "BenchError",
     "BenchRecord",
+    "FleetRecord",
     "WORKLOADS",
     "bench_compressor",
     "bursty_pause",
     "default_factories",
     "diff_benches",
+    "fleet_digest",
     "flight_arc",
     "format_diff",
     "key_point_digest",
@@ -49,5 +54,6 @@ __all__ = [
     "percentile",
     "random_walk",
     "run_bench",
+    "run_fleet_bench",
     "vehicle_route",
 ]

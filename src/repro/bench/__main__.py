@@ -1,16 +1,23 @@
 """CLI entry point: ``python -m repro.bench``.
 
-Two modes::
+Modes::
 
     # run the suite and write BENCH_<date>.json (repo root by convention)
     PYTHONPATH=src python -m repro.bench --points 100000 --epsilon 10
 
-    # small, fast run for CI (same workloads, 2000 points)
+    # small, fast run for CI (same workloads, 2000 points; smaller fleet)
     PYTHONPATH=src python -m repro.bench --smoke --out bench-smoke.json
+
+    # profile one workload instead of timing it
+    PYTHONPATH=src python -m repro.bench --profile --workloads random_walk
 
     # diff two recorded runs and flag regressions
     PYTHONPATH=src python -m repro.bench compare OLD.json NEW.json --strict
+    PYTHONPATH=src python -m repro.bench compare OLD.json NEW.json --fail-on-behaviour
 
+Each run covers the per-compressor suite (object + columnar passes) and,
+unless ``--no-fleet``, the multi-stream fleet benchmark (per-device
+ceiling, single-process engine, sharded engine per ``--fleet-workers``).
 External reference numbers (e.g. the pre-optimization throughput this PR
 is measured against) can be recorded straight into the output with
 ``--baseline name=value`` so one file carries both sides of a comparison.
@@ -19,19 +26,24 @@ is measured against) can be recorded straight into the output with
 from __future__ import annotations
 
 import argparse
+import cProfile
 import datetime
 import json
 import platform
+import pstats
 import sys
 from typing import Sequence
 
 from .compare import diff_benches, format_diff, load_bench_file
+from .fleet import run_fleet_bench
 from .harness import default_factories, run_bench
 from .workloads import WORKLOADS, make_workload
 
 __all__ = ["main"]
 
 _SMOKE_POINTS = 2_000
+_SMOKE_FLEET_DEVICES = 25
+_SMOKE_FLEET_FIXES = 80
 
 
 def _parse_baseline(pairs: Sequence[str]) -> dict:
@@ -49,19 +61,50 @@ def _parse_baseline(pairs: Sequence[str]) -> dict:
 
 def _format_records(records) -> str:
     header = (
-        f"{'workload':<16}{'algorithm':<18}{'pts/s':>10}{'p50us':>8}"
-        f"{'p99us':>8}{'maxus':>9}{'keys':>8}{'rate':>7}{'max dev':>9}"
-        f"{'peak':>6}"
+        f"{'workload':<16}{'algorithm':<18}{'pts/s':>10}{'col pts/s':>11}"
+        f"{'p50us':>8}{'p99us':>8}{'maxus':>9}{'keys':>8}{'rate':>7}"
+        f"{'max dev':>9}{'peak':>6}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
         lines.append(
             f"{r.workload:<16}{r.algorithm:<18}{r.points_per_sec:>10,.0f}"
+            f"{r.columnar_points_per_sec:>11,.0f}"
             f"{r.push_us_p50:>8.1f}{r.push_us_p99:>8.1f}{r.push_us_max:>9.1f}"
             f"{r.key_points:>8}{r.compression_rate:>7.3f}"
             f"{r.max_deviation:>9.2f}{r.peak_retained_points:>6}"
         )
     return "\n".join(lines)
+
+
+def _format_fleet(records) -> str:
+    header = (
+        f"{'fleet mode':<14}{'workers':>8}{'fixes/s':>12}{'wall s':>9}"
+        f"{'trajs':>7}{'keys':>8}  digest"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.mode:<14}{r.workers:>8}{r.fixes_per_sec:>12,.0f}"
+            f"{r.wall_seconds:>9.3f}{r.trajectories:>7}{r.key_points:>8}"
+            f"  {r.key_digest}"
+        )
+    return "\n".join(lines)
+
+
+def _run_profile(workload_name, points, epsilon, uniform_period, algorithms, top):
+    """Satellite mode: run one workload under cProfile, print top-N cumulative."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_bench(
+        {workload_name: points},
+        epsilon=epsilon,
+        uniform_period=uniform_period,
+        algorithms=algorithms,
+    )
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
 
 
 def main_run(argv: Sequence[str]) -> int:
@@ -101,6 +144,49 @@ def main_run(argv: Sequence[str]) -> int:
         metavar="NAME=VALUE",
         help="record an external reference number in the output (repeatable)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the first selected workload under cProfile and print the "
+        "top cumulative functions instead of benchmarking (no JSON output)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="how many functions --profile prints (default 25)",
+    )
+    parser.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the multi-stream fleet benchmark",
+    )
+    parser.add_argument(
+        "--fleet-devices",
+        type=int,
+        default=200,
+        help="devices in the fleet workload (smoke: "
+        f"{_SMOKE_FLEET_DEVICES})",
+    )
+    parser.add_argument(
+        "--fleet-fixes",
+        type=int,
+        default=500,
+        help="fixes per device in the fleet workload (smoke: "
+        f"{_SMOKE_FLEET_FIXES})",
+    )
+    parser.add_argument(
+        "--fleet-batch",
+        type=int,
+        default=4096,
+        help="interleaved fixes per engine batch",
+    )
+    parser.add_argument(
+        "--fleet-workers",
+        default="2,4",
+        help="comma-separated worker counts for the sharded engine",
+    )
     args = parser.parse_args(argv)
 
     # Validate before the (potentially minutes-long) run so a malformed
@@ -114,9 +200,38 @@ def main_run(argv: Sequence[str]) -> int:
         [a for a in args.algorithms.split(",") if a] if args.algorithms else None
     )
 
+    try:
+        fleet_workers = [
+            int(w) for w in args.fleet_workers.split(",") if w.strip()
+        ]
+    except ValueError:
+        raise SystemExit(
+            f"--fleet-workers expects comma-separated ints, got "
+            f"{args.fleet_workers!r}"
+        )
+    if any(w < 1 for w in fleet_workers):
+        raise SystemExit("--fleet-workers values must be >= 1")
+
     workload_points = {}
     for name in workload_names:
         workload_points[name] = make_workload(name, points_per_workload, args.seed)
+
+    if args.profile:
+        first = workload_names[0]
+        if len(workload_names) > 1:
+            print(
+                f"bench: --profile uses one workload; profiling {first!r}",
+                file=sys.stderr,
+            )
+        _run_profile(
+            first,
+            workload_points[first],
+            args.epsilon,
+            args.uniform_period,
+            algorithms,
+            args.profile_top,
+        )
+        return 0
 
     records = run_bench(
         workload_points,
@@ -126,9 +241,25 @@ def main_run(argv: Sequence[str]) -> int:
         progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
     )
 
+    fleet_records = []
+    if not args.no_fleet:
+        fleet_devices = (
+            _SMOKE_FLEET_DEVICES if args.smoke else args.fleet_devices
+        )
+        fleet_fixes = _SMOKE_FLEET_FIXES if args.smoke else args.fleet_fixes
+        fleet_records = run_fleet_bench(
+            fleet_devices,
+            fleet_fixes,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            batch_size=args.fleet_batch,
+            worker_counts=fleet_workers,
+            progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+        )
+
     out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
     document = {
-        "schema": 1,
+        "schema": 2,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -141,12 +272,16 @@ def main_run(argv: Sequence[str]) -> int:
         },
         "baselines": baselines,
         "results": [r.to_json() for r in records],
+        "fleet": [r.to_json() for r in fleet_records],
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
     print(_format_records(records))
+    if fleet_records:
+        print()
+        print(_format_fleet(fleet_records))
     print(f"\nwrote {out_path}")
     return 0
 
@@ -169,6 +304,12 @@ def main_compare(argv: Sequence[str]) -> int:
         action="store_true",
         help="exit 1 when anything is flagged (off by default: timing noise)",
     )
+    parser.add_argument(
+        "--fail-on-behaviour",
+        action="store_true",
+        help="exit 1 only for behaviour changes (key points moved/changed); "
+        "throughput deltas still print but only warn — the CI mode",
+    )
     args = parser.parse_args(argv)
 
     rows, flagged = diff_benches(
@@ -176,8 +317,14 @@ def main_compare(argv: Sequence[str]) -> int:
     )
     print(format_diff(rows))
     if flagged:
-        print(f"\n{len(flagged)} pair(s) flagged")
+        behaviour = [r for r in flagged if r["behaviour"]]
+        print(
+            f"\n{len(flagged)} pair(s) flagged"
+            + (f", {len(behaviour)} behaviour change(s)" if behaviour else "")
+        )
         if args.strict:
+            return 1
+        if args.fail_on_behaviour and behaviour:
             return 1
     return 0
 

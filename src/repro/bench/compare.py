@@ -4,10 +4,12 @@
 ``(workload, algorithm)`` and reports the throughput ratio for every pair
 present in both files.  A pair whose new throughput falls below
 ``threshold × old`` is flagged as a regression; a pair whose key-point
-output changed size is flagged as a behaviour change (which is never
-timing noise).  The process exits non-zero for flags only under
-``--strict`` — machine-to-machine timing comparisons are advisory by
-default so CI can upload artifacts without failing on noise.
+output changed (count, or exact points via the digest) is flagged as a
+**behaviour change**, which is never timing noise.  Exit-code policy is
+caller-selected: ``--strict`` exits non-zero on any flag,
+``--fail-on-behaviour`` only on behaviour changes — the mode CI runs
+against the committed baseline, so a digest drift fails the build while
+cross-machine throughput deltas merely warn.
 """
 
 from __future__ import annotations
@@ -41,7 +43,9 @@ def diff_benches(
     Returns ``(rows, flagged)``: one row per joined (workload, algorithm)
     with old/new throughput and the ratio, and the subset flagged as a
     regression (ratio below ``threshold``) or a behaviour change
-    (key-point count differs).
+    (key-point count or digest differs).  Each row carries a
+    ``"behaviour"`` bool so callers can separate behaviour changes (always
+    a bug) from timing deltas (possibly noise).
     """
     if not 0.0 < threshold <= 1.0:
         raise ValueError(f"threshold must be in (0, 1], got {threshold!r}")
@@ -49,18 +53,25 @@ def diff_benches(
     new_rows = _by_key(new)
     rows: List[dict] = []
     flagged: List[dict] = []
+
+    def add_row(row: dict) -> None:
+        rows.append(row)
+        if row["reasons"]:
+            flagged.append(row)
+
     for key in sorted(old_rows.keys() & new_rows.keys()):
         o = old_rows[key]
         n = new_rows[key]
         old_pps = float(o["points_per_sec"])
         new_pps = float(n["points_per_sec"])
         ratio = new_pps / old_pps if old_pps > 0.0 else float("inf")
-        reasons = []
+        timing_reasons = []
+        behaviour_reasons = []
         if ratio < threshold:
-            reasons.append(f"throughput fell to {ratio:.2f}x")
+            timing_reasons.append(f"throughput fell to {ratio:.2f}x")
         if o["points"] == n["points"]:
             if o["key_points"] != n["key_points"]:
-                reasons.append(
+                behaviour_reasons.append(
                     f"key points changed {o['key_points']} -> {n['key_points']}"
                 )
             elif (
@@ -69,18 +80,53 @@ def diff_benches(
                 and o["key_digest"] != n["key_digest"]
             ):
                 # Same count, different points — still a behaviour change.
-                reasons.append("key points moved (same count, digest differs)")
+                behaviour_reasons.append(
+                    "key points moved (same count, digest differs)"
+                )
         row = {
             "workload": key[0],
             "algorithm": key[1],
             "old_points_per_sec": old_pps,
             "new_points_per_sec": new_pps,
             "ratio": ratio,
-            "reasons": reasons,
+            "reasons": timing_reasons + behaviour_reasons,
+            "behaviour": bool(behaviour_reasons),
         }
-        rows.append(row)
-        if reasons:
-            flagged.append(row)
+        add_row(row)
+
+    # Fleet section (schema 2+): joined on mode.  The digests cover every
+    # device's exact output, so drift here is an engine behaviour change —
+    # the in-run audit only checks modes against each other, not against
+    # the recorded baseline.
+    old_fleet = {r["mode"]: r for r in old.get("fleet", [])}
+    new_fleet = {r["mode"]: r for r in new.get("fleet", [])}
+    for mode in sorted(old_fleet.keys() & new_fleet.keys()):
+        o = old_fleet[mode]
+        n = new_fleet[mode]
+        old_fps = float(o["fixes_per_sec"])
+        new_fps = float(n["fixes_per_sec"])
+        ratio = new_fps / old_fps if old_fps > 0.0 else float("inf")
+        timing_reasons = []
+        behaviour_reasons = []
+        if ratio < threshold:
+            timing_reasons.append(f"throughput fell to {ratio:.2f}x")
+        if (
+            o["devices"] == n["devices"]
+            and o["fixes_per_device"] == n["fixes_per_device"]
+            and o["key_digest"] != n["key_digest"]
+        ):
+            behaviour_reasons.append("fleet output moved (digest differs)")
+        add_row(
+            {
+                "workload": "fleet",
+                "algorithm": mode,
+                "old_points_per_sec": old_fps,
+                "new_points_per_sec": new_fps,
+                "ratio": ratio,
+                "reasons": timing_reasons + behaviour_reasons,
+                "behaviour": bool(behaviour_reasons),
+            }
+        )
     return rows, flagged
 
 

@@ -1,17 +1,23 @@
 """Timing harness: throughput, per-push latency, and correctness audits.
 
-Each (workload, algorithm) pair is measured in two passes over the same
+Each (workload, algorithm) pair is measured in three passes over the same
 point stream:
 
 1. **Throughput pass** — one :meth:`push_many` batch plus ``finish()``,
    timed wall-clock.  ``points_per_sec = n / wall`` is the headline number;
-   it exercises the allocation-lean batched path.
-2. **Latency pass** — a fresh compressor driven point-by-point with a
+   it exercises the allocation-lean batched object path.
+2. **Columnar pass** — the same stream pre-shredded into
+   :class:`~repro.model.columns.TrajectoryColumns` and fed through one
+   :meth:`push_xyt` call plus ``finish()``.  ``columnar_points_per_sec``
+   measures the zero-object struct-of-arrays path; the harness raises
+   :class:`BenchError` if its key points differ from the object path's.
+3. **Latency pass** — a fresh compressor driven point-by-point with a
    ``perf_counter`` bracket around every ``push`` call, yielding the
    per-push latency percentiles (p50/p90/p99/max) and the peak number of
    points the compressor retained.  This pass exercises the per-point path
    and doubles as a production equivalence check: the harness raises
-   :class:`BenchError` if the two passes disagree on the key points.
+   :class:`BenchError` if it disagrees with the batched pass on the key
+   points.
 
 The harness also audits the error bound on every run — an error-bounded
 compressor whose output deviates beyond ``epsilon`` is a correctness bug,
@@ -36,6 +42,7 @@ from ..compression.baselines import (
 )
 from ..compression.bqs import BQSCompressor
 from ..compression.fast_bqs import FastBQSCompressor
+from ..model.columns import TrajectoryColumns
 from ..model.point import PlanePoint
 
 __all__ = [
@@ -71,6 +78,9 @@ class BenchRecord:
     epsilon: float
     points_per_sec: float  #: batched path: n / (push_many + finish) wall
     wall_seconds: float  #: the wall time behind ``points_per_sec``
+    columnar_points_per_sec: float  #: columnar path: n / (push_xyt + finish)
+    columnar_wall_seconds: float  #: the wall time behind the columnar figure
+    columnar_speedup: float  #: columnar_points_per_sec / points_per_sec
     push_us_p50: float  #: per-point path push() latency percentiles (µs)
     push_us_p90: float
     push_us_p99: float
@@ -122,21 +132,78 @@ def bench_compressor(
     make: Callable[[], StreamingCompressor],
     points: Sequence[PlanePoint],
     workload_name: str,
+    repeats: int = 3,
 ) -> BenchRecord:
-    """Measure one compressor over one stream (two passes, audited)."""
+    """Measure one compressor over one stream (three passes, audited).
+
+    Both throughput passes run ``repeats`` times on fresh compressors and
+    record the fastest wall (best-of-N, the standard defence against
+    scheduler/GC spikes — a single slow pass would otherwise flip the
+    object-vs-columnar comparison on a noisy host).  Outputs must be
+    identical across repeats, which every compressor's determinism
+    guarantees.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
     n = len(points)
 
     # Pass 1: throughput through the batched fast path.
-    fast = make()
-    t0 = time.perf_counter()
-    fast.push_many(points)
-    push_wall = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    compressed = fast.finish()
-    finish_wall = time.perf_counter() - t0
-    wall = push_wall + finish_wall
+    wall = math.inf
+    finish_wall = math.inf
+    compressed = None
+    for _ in range(repeats):
+        fast = make()
+        t0 = time.perf_counter()
+        fast.push_many(points)
+        push_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result = fast.finish()
+        this_finish = time.perf_counter() - t0
+        if push_wall + this_finish < wall:
+            wall = push_wall + this_finish
+            finish_wall = this_finish
+        if compressed is None:
+            compressed = result
+        elif result.key_points != compressed.key_points:
+            raise BenchError(
+                f"{workload_name}/{result.algorithm}: push_many() repeats "
+                f"disagree on key points (non-deterministic compressor?)"
+            )
 
-    # Pass 2: per-push latency through the per-point path.
+    # Pass 2: throughput through the zero-object columnar path.  The
+    # columns are shredded outside the timed region, mirroring how the
+    # object pass receives pre-built points.
+    cols = TrajectoryColumns.from_points(points)
+    col_wall = math.inf
+    col_compressed = None
+    for _ in range(repeats):
+        columnar = make()
+        t0 = time.perf_counter()
+        columnar.push_xyt(cols.ts, cols.xs, cols.ys)
+        col_push_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result = columnar.finish()
+        this_wall = col_push_wall + (time.perf_counter() - t0)
+        if this_wall < col_wall:
+            col_wall = this_wall
+        if col_compressed is None:
+            col_compressed = result
+        elif result.key_points != col_compressed.key_points:
+            raise BenchError(
+                f"{workload_name}/{result.algorithm}: push_xyt() repeats "
+                f"disagree on key points (non-deterministic compressor?)"
+            )
+    if col_compressed.key_points != compressed.key_points:
+        raise BenchError(
+            f"{workload_name}/{compressed.algorithm}: push_xyt() and "
+            f"push_many() produced different key points "
+            f"(columnar {len(col_compressed)} keys, digest "
+            f"{key_point_digest(col_compressed.key_points)} vs object "
+            f"{len(compressed)} keys, digest "
+            f"{key_point_digest(compressed.key_points)})"
+        )
+
+    # Pass 3: per-push latency through the per-point path.
     slow = make()
     latencies: List[float] = []
     record_latency = latencies.append
@@ -185,6 +252,9 @@ def bench_compressor(
         epsilon=fast.epsilon,
         points_per_sec=n / wall if wall > 0.0 else 0.0,
         wall_seconds=wall,
+        columnar_points_per_sec=n / col_wall if col_wall > 0.0 else 0.0,
+        columnar_wall_seconds=col_wall,
+        columnar_speedup=wall / col_wall if col_wall > 0.0 else 0.0,
         push_us_p50=percentile(latencies, 50.0) * 1e6,
         push_us_p90=percentile(latencies, 90.0) * 1e6,
         push_us_p99=percentile(latencies, 99.0) * 1e6,
@@ -207,6 +277,7 @@ def run_bench(
     uniform_period: int = 10,
     algorithms: Sequence[str] | None = None,
     progress: Callable[[str], None] | None = None,
+    repeats: int = 3,
 ) -> List[BenchRecord]:
     """Benchmark the selected algorithms over pre-generated workloads."""
     factories = default_factories(epsilon, uniform_period)
@@ -223,5 +294,7 @@ def run_bench(
         for algorithm, make in factories.items():
             if progress is not None:
                 progress(f"{workload_name}/{algorithm} ({len(points)} points)")
-            records.append(bench_compressor(make, points, workload_name))
+            records.append(
+                bench_compressor(make, points, workload_name, repeats=repeats)
+            )
     return records

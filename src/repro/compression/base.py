@@ -32,7 +32,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol, runtime_checkable
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..geometry.metrics import DistanceMetric
 from ..model.point import PlanePoint
@@ -106,6 +106,11 @@ class StreamingCompressor(Protocol):
         """The error tolerance in metres (``math.inf`` when unbounded)."""
         ...
 
+    @property
+    def pushed(self) -> int:
+        """Number of points consumed so far (any entry point)."""
+        ...
+
     def push(self, point: PlanePoint) -> PushResult:
         """Fold one point into the stream; report committed key points."""
         ...
@@ -113,6 +118,16 @@ class StreamingCompressor(Protocol):
     def push_many(self, points: Iterable[PlanePoint]) -> int:
         """Fold a batch of points in (same output as a ``push`` loop);
         return how many were consumed."""
+        ...
+
+    def push_xyt(
+        self,
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> int:
+        """Fold a columnar batch of fixes in (same output as a ``push``
+        loop over ``PlanePoint(x, y, t)``); return how many were consumed."""
         ...
 
     def finish(self) -> CompressedTrajectory:
@@ -226,7 +241,7 @@ class CompressorBase(abc.ABC):
             )
         if not isinstance(point, PlanePoint):
             raise TypeError(f"push expects PlanePoint, got {type(point).__name__}")
-        if point.t < self._last_t:
+        if not (point.t >= self._last_t):
             raise ValueError(
                 f"points must be non-decreasing in time "
                 f"({self._last_t} then {point.t})"
@@ -261,6 +276,43 @@ class CompressorBase(abc.ABC):
                 f"{self.name}: finish() already called; reset() to reuse"
             )
         return self._ingest_many(points)
+
+    def push_xyt(
+        self,
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> int:
+        """Columnar batched entry point: fold flat ``(ts, xs, ys)`` columns in.
+
+        The struct-of-arrays twin of :meth:`push_many` — the natural fit for
+        :class:`~repro.model.columns.TrajectoryColumns` (pass ``cols.ts,
+        cols.xs, cols.ys``) or any parallel float sequences.  Output is
+        *bit-identical* to pushing ``PlanePoint(x, y, t)`` objects one at a
+        time, but hot-path subclasses override :meth:`_ingest_xyt` to read
+        the floats straight out of the columns and materialize points only
+        for committed key points, so no per-fix object is ever built.
+
+        Like :meth:`push_many`, values are trusted: the columnar overrides
+        never check coordinates for finiteness on ingest (a non-finite
+        coordinate surfaces as a ``ValueError`` only if its fix is
+        materialized as a key point), while paths that materialize every
+        fix — the default fallback below and BQS's ``debug_audit`` mode —
+        validate each one at construction, exactly like a ``push`` loop.
+        Timestamp monotonicity is always enforced on every fix, and a
+        mid-batch violation consumes the valid prefix before raising.
+        Returns the number of fixes consumed.
+        """
+        if self._finished:
+            raise RuntimeError(
+                f"{self.name}: finish() already called; reset() to reuse"
+            )
+        n = len(ts)
+        if len(xs) != n or len(ys) != n:
+            raise ValueError(
+                f"column length mismatch: ts={n}, xs={len(xs)}, ys={len(ys)}"
+            )
+        return self._ingest_xyt(ts, xs, ys)
 
     def finish(self) -> CompressedTrajectory:
         if self._finished:
@@ -325,7 +377,7 @@ class CompressorBase(abc.ABC):
         try:
             for point in points:
                 t = point.t
-                if t < last_t:
+                if not (t >= last_t):
                     raise ValueError(
                         f"points must be non-decreasing in time "
                         f"({last_t} then {t})"
@@ -340,6 +392,24 @@ class CompressorBase(abc.ABC):
             self._last_t = last_t
             self._count = count
         return count - start
+
+    def _ingest_xyt(
+        self,
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> int:
+        """Columnar ingest behind :meth:`push_xyt`; returns fixes consumed.
+
+        The default materializes a ``PlanePoint`` per fix and reuses
+        :meth:`_ingest_many` — correct for every subclass, columnar-fast for
+        none.  Hot-path subclasses override this with a loop over the raw
+        floats; the contract is the same as :meth:`_ingest_many`: key
+        points, counts and stats must end up exactly as a :meth:`push` loop
+        over the materialized points would leave them, even when a fix
+        mid-batch raises.
+        """
+        return self._ingest_many(map(PlanePoint, xs, ys, ts))
 
     def _run_batch_stepped(
         self,
@@ -361,7 +431,7 @@ class CompressorBase(abc.ABC):
         try:
             for point in points:
                 t = point.t
-                if t < last_t:
+                if not (t >= last_t):
                     raise ValueError(
                         f"points must be non-decreasing in time "
                         f"({last_t} then {t})"

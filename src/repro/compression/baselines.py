@@ -17,26 +17,40 @@ Two online baselines and two batch references, all behind the same
     within ε/2 of the ray, hence within ε of the chord).
 
 ``DouglasPeucker``
-    The batch gold standard: buffers the stream and recursively splits at
-    the point of maximum deviation until every segment is within bound.
+    The batch gold standard: buffers the stream and splits at the point of
+    maximum deviation until every segment is within bound.  The traversal
+    is an explicit-stack loop, not recursion — a long monotone trajectory
+    can drive the textbook recursion past Python's recursion limit (depth
+    grows linearly when the worst point hugs a segment end), and the
+    regression tests pin streams deeper than ``sys.getrecursionlimit()``.
 
 ``TDTRCompressor``
-    Time-ratio Douglas-Peucker (TD-TR): identical recursion but measured
+    Time-ratio Douglas-Peucker (TD-TR): identical traversal but measured
     with the *synchronized Euclidean distance* — each point is compared to
     the position linearly interpolated at its own timestamp.  SED never
     undershoots the point-to-line deviation (the synchronized position lies
     on the chord's line), so a TD-TR output is error-bounded under the
     paper's metric as well.
+
+Both batch baselines buffer **columns, not objects**: pushed fixes land in
+flat ``array('d')`` columns (~32 bytes per fix instead of a ``PlanePoint``
+each), the split scans read floats straight out of the columns, and
+``PlanePoint`` objects are materialized only for the kept key points at
+``finish()`` time.  The columnar ``push_xyt`` entry point therefore
+bulk-extends the buffer without building a single intermediate object.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
+from itertools import repeat
+from typing import Sequence
 
 from ..geometry.metrics import DistanceMetric, deviation as metric_deviation
 from ..model.point import PlanePoint
-from ..model.reconstruction import synchronized_deviation
-from .base import CompressorBase, Decision, PointBuffer
+from ..model.reconstruction import synchronized_deviation_xyt
+from .base import CompressorBase, Decision
 
 __all__ = [
     "UniformSampler",
@@ -73,6 +87,66 @@ class UniformSampler(CompressorBase):
             self._since_key = 0
             return [point], Decision.PERIODIC
         return [], Decision.PERIODIC
+
+    def _ingest_xyt(self, ts, xs, ys) -> int:
+        """Columnar ingest: materialize only the every-``period``-th keepers."""
+        emit = self._emit
+        period = self.period
+        since = self._since_key
+        tail_obj = self._tail  # non-None means in sync with the floats
+        tx = ty = tt = tz = 0.0
+        if tail_obj is not None:
+            tx, ty, tt, tz = tail_obj.x, tail_obj.y, tail_obj.t, tail_obj.z
+        started = tail_obj is not None
+        last_t = self._last_t
+        count = start = self._count
+        init_n = periodic_n = 0
+        try:
+            for t, x, y in zip(ts, xs, ys):
+                if not (t >= last_t):
+                    raise ValueError(
+                        f"points must be non-decreasing in time "
+                        f"({last_t} then {t})"
+                    )
+                last_t = t
+                count += 1
+                if not started:
+                    started = True
+                    since = 0
+                    point = PlanePoint(x, y, t)
+                    tail_obj = point
+                    tx, ty, tt, tz = x, y, t, 0.0
+                    emit(point)
+                    init_n += 1
+                    continue
+                periodic_n += 1
+                since += 1
+                tx, ty, tt, tz = x, y, t, 0.0
+                if since >= period:
+                    since = 0
+                    point = PlanePoint(x, y, t)
+                    tail_obj = point
+                    emit(point)
+                else:
+                    tail_obj = None
+        finally:
+            self._last_t = last_t
+            self._count = count
+            self._since_key = since
+            if started:
+                self._tail = (
+                    tail_obj
+                    if tail_obj is not None
+                    else PlanePoint(tx, ty, tt, tz)
+                )
+            stats = self._stats
+            if init_n:
+                stats[Decision.INIT] = stats.get(Decision.INIT, 0) + init_n
+            if periodic_n:
+                stats[Decision.PERIODIC] = (
+                    stats.get(Decision.PERIODIC, 0) + periodic_n
+                )
+        return count - start
 
     def _flush(self) -> list[PlanePoint]:
         return [] if self._tail is None else [self._tail]
@@ -142,58 +216,206 @@ class DeadReckoningCompressor(CompressorBase):
         self._prev = point
         return [prev], Decision.THRESHOLD
 
+    def _ingest_xyt(self, ts, xs, ys) -> int:
+        """Columnar ingest: the prediction test runs on bare floats and the
+        previous fix is materialized only when a breach commits it."""
+        emit = self._emit
+        hyp = math.hypot
+        threshold = self._threshold
+        key_obj = self._key  # always in sync (changes only on init/commit)
+        kx = ky = kt = 0.0
+        if key_obj is not None:
+            kx, ky, kt = key_obj.x, key_obj.y, key_obj.t
+        velocity = self._velocity
+        prev_obj = self._prev  # non-None means in sync with the floats
+        px = py = pt = pz = 0.0
+        if prev_obj is not None:
+            px, py, pt, pz = prev_obj.x, prev_obj.y, prev_obj.t, prev_obj.z
+        last_t = self._last_t
+        count = start = self._count
+        init_n = accept_n = threshold_n = 0
+        try:
+            for t, x, y in zip(ts, xs, ys):
+                if not (t >= last_t):
+                    raise ValueError(
+                        f"points must be non-decreasing in time "
+                        f"({last_t} then {t})"
+                    )
+                last_t = t
+                count += 1
+                if key_obj is None:
+                    point = PlanePoint(x, y, t)
+                    key_obj = point
+                    kx, ky, kt = x, y, t
+                    velocity = None
+                    prev_obj = point
+                    px, py, pt, pz = x, y, t, 0.0
+                    emit(point)
+                    init_n += 1
+                    continue
+                if velocity is None:
+                    dt = t - kt
+                    if dt > 0.0:
+                        velocity = ((x - kx) / dt, (y - ky) / dt)
+                    else:
+                        velocity = (0.0, 0.0)
+                    px, py, pt, pz = x, y, t, 0.0
+                    prev_obj = None
+                    accept_n += 1
+                    continue
+                threshold_n += 1
+                dt = t - kt
+                vx, vy = velocity
+                error = hyp(x - (kx + vx * dt), y - (ky + vy * dt))
+                if error <= threshold:
+                    px, py, pt, pz = x, y, t, 0.0
+                    prev_obj = None
+                    continue
+                # Breach: the previous fix becomes a key point and the new
+                # prediction origin.
+                key = (
+                    prev_obj
+                    if prev_obj is not None
+                    else PlanePoint(px, py, pt, pz)
+                )
+                key_obj = key
+                kx, ky, kt = px, py, pt
+                dt = t - pt
+                if dt > 0.0:
+                    velocity = ((x - px) / dt, (y - py) / dt)
+                else:
+                    velocity = (0.0, 0.0)
+                px, py, pt, pz = x, y, t, 0.0
+                prev_obj = None
+                emit(key)
+        finally:
+            self._last_t = last_t
+            self._count = count
+            self._key = key_obj
+            self._velocity = velocity
+            if key_obj is None:
+                self._prev = None
+            else:
+                self._prev = (
+                    prev_obj
+                    if prev_obj is not None
+                    else PlanePoint(px, py, pt, pz)
+                )
+            stats = self._stats
+            if init_n:
+                stats[Decision.INIT] = stats.get(Decision.INIT, 0) + init_n
+            if accept_n:
+                stats[Decision.ACCEPT] = stats.get(Decision.ACCEPT, 0) + accept_n
+            if threshold_n:
+                stats[Decision.THRESHOLD] = (
+                    stats.get(Decision.THRESHOLD, 0) + threshold_n
+                )
+        return count - start
+
     def _flush(self) -> list[PlanePoint]:
         return [] if self._prev is None else [self._prev]
 
 
 class _BatchCompressor(CompressorBase):
-    """Shared buffering/driver for the batch baselines (decide in finish)."""
+    """Shared columnar buffering/driver for the batch baselines.
+
+    Fixes are buffered as four flat ``array('d')`` columns (t, x, y, z) and
+    the split-at-worst-point selection reads floats straight from them;
+    ``PlanePoint`` objects exist only for the key points returned by
+    ``finish()``.  ``z`` is carried so object-path pushes round-trip their
+    third coordinate through the buffer unchanged.
+    """
 
     def _reset(self) -> None:
-        self._buffer = PointBuffer()
+        self._ts = array("d")
+        self._xs = array("d")
+        self._ys = array("d")
+        self._zs = array("d")
 
     @property
     def buffered_points(self) -> int:
-        return len(self._buffer)
+        return len(self._ts)
 
     def _ingest(self, point: PlanePoint) -> tuple[list[PlanePoint], str]:
-        self._buffer.append(point)
+        self._ts.append(point.t)
+        self._xs.append(point.x)
+        self._ys.append(point.y)
+        self._zs.append(point.z)
         return [], Decision.BATCH
 
-    def _flush(self) -> list[PlanePoint]:
-        points = list(self._buffer)
-        self._buffer.clear()
-        if not points:
-            return []
-        if len(points) <= 2:
-            return points
-        keep = self._select(points)
-        return [points[i] for i in sorted(keep)]
+    def _ingest_xyt(self, ts, xs, ys) -> int:
+        """Columnar ingest: bulk-extend the buffer, no objects at all.
 
-    def _select(self, points: list[PlanePoint]) -> set[int]:
-        """Indices to keep; iterative split-at-worst-point recursion."""
-        keep = {0, len(points) - 1}
-        stack = [(0, len(points) - 1)]
+        The valid (time-monotone) prefix is consumed before a violation
+        raises, matching the per-point loop's partial-consumption
+        behaviour.
+        """
+        last_t = self._last_t
+        n_ok = 0
+        bad: float | None = None
+        for t in ts:
+            if not (t >= last_t):
+                bad = t
+                break
+            last_t = t
+            n_ok += 1
+        if n_ok:
+            self._ts.extend(ts[:n_ok] if bad is not None else ts)
+            self._xs.extend(xs[:n_ok] if bad is not None else xs)
+            self._ys.extend(ys[:n_ok] if bad is not None else ys)
+            self._zs.extend(repeat(0.0, n_ok))
+            self._last_t = last_t
+            self._count += n_ok
+            stats = self._stats
+            stats[Decision.BATCH] = stats.get(Decision.BATCH, 0) + n_ok
+        if bad is not None:
+            raise ValueError(
+                f"points must be non-decreasing in time ({last_t} then {bad})"
+            )
+        return n_ok
+
+    def _flush(self) -> list[PlanePoint]:
+        ts, xs, ys, zs = self._ts, self._xs, self._ys, self._zs
+        self._ts = array("d")
+        self._xs = array("d")
+        self._ys = array("d")
+        self._zs = array("d")
+        n = len(ts)
+        if n == 0:
+            return []
+        if n <= 2:
+            keep: Sequence[int] = range(n)
+        else:
+            keep = sorted(self._select(ts, xs, ys))
+        return [PlanePoint(xs[i], ys[i], ts[i], zs[i]) for i in keep]
+
+    def _select(self, ts, xs, ys) -> set[int]:
+        """Indices to keep; explicit-stack split-at-worst-point traversal.
+
+        Deliberately iterative: the recursive textbook formulation reaches
+        depth O(n) whenever the worst point lands next to a segment end,
+        which overflows the interpreter stack long before the 100k-point
+        streams the benchmarks run (see the depth regression tests).
+        """
+        epsilon = self._epsilon
+        scan = self._scan_worst
+        last = len(ts) - 1
+        keep = {0, last}
+        stack = [(0, last)]
         while stack:
             lo, hi = stack.pop()
             if hi - lo < 2:
                 continue
-            worst = -1.0
-            worst_idx = -1
-            for i in range(lo + 1, hi):
-                d = self._split_distance(points[i], points[lo], points[hi])
-                if d > worst:
-                    worst = d
-                    worst_idx = i
-            if worst > self._epsilon:
+            worst, worst_idx = scan(ts, xs, ys, lo, hi)
+            if worst > epsilon:
                 keep.add(worst_idx)
                 stack.append((lo, worst_idx))
                 stack.append((worst_idx, hi))
         return keep
 
-    def _split_distance(
-        self, p: PlanePoint, a: PlanePoint, b: PlanePoint
-    ) -> float:
+    def _scan_worst(self, ts, xs, ys, lo: int, hi: int) -> tuple[float, int]:
+        """Return ``(max deviation, argmax index)`` over ``(lo, hi)``
+        interior fixes against the chord ``lo → hi``."""
         raise NotImplementedError
 
 
@@ -212,10 +434,18 @@ class DouglasPeucker(_BatchCompressor):
         super().__init__(epsilon, metric)
         self._reset()
 
-    def _split_distance(
-        self, p: PlanePoint, a: PlanePoint, b: PlanePoint
-    ) -> float:
-        return metric_deviation(p.xy, a.xy, b.xy, self._metric)
+    def _scan_worst(self, ts, xs, ys, lo: int, hi: int) -> tuple[float, int]:
+        metric = self._metric
+        a = (xs[lo], ys[lo])
+        b = (xs[hi], ys[hi])
+        worst = -1.0
+        worst_idx = -1
+        for i in range(lo + 1, hi):
+            d = metric_deviation((xs[i], ys[i]), a, b, metric)
+            if d > worst:
+                worst = d
+                worst_idx = i
+        return worst, worst_idx
 
 
 class TDTRCompressor(_BatchCompressor):
@@ -229,7 +459,15 @@ class TDTRCompressor(_BatchCompressor):
         super().__init__(epsilon)
         self._reset()
 
-    def _split_distance(
-        self, p: PlanePoint, a: PlanePoint, b: PlanePoint
-    ) -> float:
-        return synchronized_deviation(p, a, b)
+    def _scan_worst(self, ts, xs, ys, lo: int, hi: int) -> tuple[float, int]:
+        sed = synchronized_deviation_xyt
+        ax, ay, at = xs[lo], ys[lo], ts[lo]
+        bx, by, bt = xs[hi], ys[hi], ts[hi]
+        worst = -1.0
+        worst_idx = -1
+        for i in range(lo + 1, hi):
+            d = sed(xs[i], ys[i], ts[i], ax, ay, at, bx, by, bt)
+            if d > worst:
+                worst = d
+                worst_idx = i
+        return worst, worst_idx

@@ -285,6 +285,47 @@ class QuadrantState:
             area = self.bounded_area()
         return max_abs_cross(area, dx, dy)
 
+    def upper_cross_exceeds(self, dx: float, dy: float, scaled_eps: float) -> bool:
+        """Does the scaled upper bound exceed ``scaled_eps``?
+
+        Two stages, same verdict as comparing :meth:`upper_cross` directly:
+        the bounding box contains the bounded area, so when the max
+        ``|cross|`` over the four box corners is already within tolerance
+        the area bound is too — decided from eight multiplications without
+        cutting or scanning the cached polygon.  Only a failing screen
+        consults the box ∩ wedge polygon.  On workloads that grow the box
+        on most arrivals (anything with drift) this skips the polygon
+        rebuild entirely for the common within-bound case.
+        """
+        x0 = self.min_x
+        y0 = self.min_y
+        x1 = self.max_x
+        y1 = self.max_y
+        best = c = dx * y0 - dy * x0
+        if best < 0.0:
+            best = -best
+        c = dx * y0 - dy * x1
+        if c < 0.0:
+            c = -c
+        if c > best:
+            best = c
+        c = dx * y1 - dy * x1
+        if c < 0.0:
+            c = -c
+        if c > best:
+            best = c
+        c = dx * y1 - dy * x0
+        if c < 0.0:
+            c = -c
+        if c > best:
+            best = c
+        if best <= scaled_eps:
+            return False
+        area = self._area
+        if area is None:
+            area = self.bounded_area()
+        return max_abs_cross(area, dx, dy) > scaled_eps
+
     def lower_cross(self, dx: float, dy: float) -> float:
         """Scaled lower bound, witnessed by real trajectory points.
 
@@ -480,13 +521,14 @@ class BQSCompressor(CompressorBase):
         scaled_eps = self._epsilon * denom
 
         quadrants = self._quadrants
-        upper = 0.0
+        within = True
         for q in quadrants:
-            if q.count:
-                c = q.upper_cross(dx, dy)
-                if c > upper:
-                    upper = c
-        if upper <= scaled_eps:
+            if q.count and q.upper_cross_exceeds(dx, dy, scaled_eps):
+                # Any single quadrant over tolerance settles the question,
+                # so stop scanning — same verdict as comparing the max.
+                within = False
+                break
+        if within:
             # Accept paths reuse the (dx, dy, denom) already computed for
             # the bound checks; the anchor is unchanged.
             self._admit_rel(point, dx, dy, denom)
@@ -585,6 +627,202 @@ class BQSCompressor(CompressorBase):
     def _ingest_many(self, points) -> int:
         """Batched ingest: integer decision slots, no per-point allocation."""
         return self._run_batch_stepped(points, self._step, _DECISION_LABELS)
+
+    def _ingest_xyt(self, ts, xs, ys) -> int:
+        """Columnar ingest: zero per-fix objects on the bound-decided paths.
+
+        Mirrors :meth:`_step` with the stream state held in local floats:
+        the anchor is read once per batch (it only changes on a split), and
+        the previous fix is tracked as ``(x, y, t, z)`` floats and
+        materialized as a :class:`PlanePoint` only when a split commits
+        it.  Degenerate arrivals (fix coinciding with the anchor) are
+        rare, so they sync the locals back into the instance and reuse
+        :meth:`_step`'s exact logic.
+
+        ``debug_audit`` mode buffers every point by definition, so it keeps
+        the materializing default path.
+        """
+        if self._buffer is not None:
+            return super()._ingest_xyt(ts, xs, ys)
+        emit = self._emit
+        quadrants = self._quadrants
+        epsilon = self._epsilon
+        hyp = math.hypot
+        pa = polar_angle
+        qi = quadrant_index
+        counters = [0] * len(_DECISION_LABELS)
+        last_t = self._last_t
+        count = start = self._count
+        anchor = self._anchor
+        ax = ay = 0.0
+        if anchor is not None:
+            ax = anchor.x
+            ay = anchor.y
+        prev_obj = self._prev  # non-None means it is in sync with the floats
+        px = py = pt = pz = 0.0
+        if prev_obj is not None:
+            px, py, pt, pz = prev_obj.x, prev_obj.y, prev_obj.t, prev_obj.z
+        interior = self._interior
+        retained = self._retained
+        retained_peak = self._retained_peak
+        try:
+            for t, x, y in zip(ts, xs, ys):
+                if not (t >= last_t):
+                    raise ValueError(
+                        f"points must be non-decreasing in time "
+                        f"({last_t} then {t})"
+                    )
+                last_t = t
+                count += 1
+
+                if anchor is None:
+                    point = PlanePoint(x, y, t)
+                    anchor = point
+                    ax = x
+                    ay = y
+                    prev_obj = point
+                    px, py, pt, pz = x, y, t, 0.0
+                    emit(point)
+                    counters[_D_INIT] += 1
+                    continue
+
+                dx = x - ax
+                dy = y - ay
+
+                if interior == 0:
+                    # First fix after the anchor: trivially within bound.
+                    r = hyp(dx, dy)
+                    retained += quadrants[qi(dx, dy)].add(
+                        (dx, dy), pa(dx, dy), r
+                    )
+                    if retained > retained_peak:
+                        retained_peak = retained
+                    interior = 1
+                    px, py, pt, pz = x, y, t, 0.0
+                    prev_obj = None
+                    counters[_D_ACCEPT] += 1
+                    continue
+
+                denom = hyp(dx, dy)
+                if denom == 0.0:
+                    # Rare: sync the locals out, reuse the object-path
+                    # degenerate logic, and reload.
+                    self._anchor = anchor
+                    self._prev = (
+                        prev_obj
+                        if prev_obj is not None
+                        else PlanePoint(px, py, pt, pz)
+                    )
+                    self._interior = interior
+                    self._retained = retained
+                    self._retained_peak = retained_peak
+                    key, slot = self._step_degenerate(PlanePoint(x, y, t))
+                    counters[slot] += 1
+                    if key is not None:
+                        emit(key)
+                    anchor = self._anchor
+                    ax = anchor.x
+                    ay = anchor.y
+                    prev_obj = self._prev
+                    px, py, pt, pz = (
+                        prev_obj.x, prev_obj.y, prev_obj.t, prev_obj.z
+                    )
+                    interior = self._interior
+                    retained = self._retained
+                    retained_peak = self._retained_peak
+                    continue
+                scaled_eps = epsilon * denom
+
+                within = True
+                for q in quadrants:
+                    if q.count and q.upper_cross_exceeds(dx, dy, scaled_eps):
+                        within = False
+                        break
+                if within:
+                    retained += quadrants[qi(dx, dy)].add(
+                        (dx, dy), pa(dx, dy), denom
+                    )
+                    if retained > retained_peak:
+                        retained_peak = retained
+                    interior += 1
+                    px, py, pt, pz = x, y, t, 0.0
+                    prev_obj = None
+                    counters[_D_UPPER] += 1
+                    continue
+
+                lower = 0.0
+                for q in quadrants:
+                    if q.count:
+                        c = q.lower_cross(dx, dy)
+                        if c > lower:
+                            lower = c
+                if lower > scaled_eps:
+                    slot = _D_LOWER
+                else:
+                    exact = 0.0
+                    for q in quadrants:
+                        if q.count:
+                            c = q.exact_cross(dx, dy)
+                            if c > exact:
+                                exact = c
+                    if exact <= scaled_eps:
+                        retained += quadrants[qi(dx, dy)].add(
+                            (dx, dy), pa(dx, dy), denom
+                        )
+                        if retained > retained_peak:
+                            retained_peak = retained
+                        interior += 1
+                        px, py, pt, pz = x, y, t, 0.0
+                        prev_obj = None
+                        counters[_D_EXACT_ACCEPT] += 1
+                        continue
+                    slot = _D_EXACT_COMMIT
+
+                # Split: the previous fix becomes a key point and the new
+                # anchor; the current fix opens the fresh segment.
+                key = (
+                    prev_obj
+                    if prev_obj is not None
+                    else PlanePoint(px, py, pt, pz)
+                )
+                anchor = key
+                ax = px
+                ay = py
+                for q in quadrants:
+                    q.reset()
+                ndx = x - ax
+                ndy = y - ay
+                retained = quadrants[qi(ndx, ndy)].add(
+                    (ndx, ndy), pa(ndx, ndy), hyp(ndx, ndy)
+                )
+                if retained > retained_peak:
+                    retained_peak = retained
+                interior = 1
+                px, py, pt, pz = x, y, t, 0.0
+                prev_obj = None
+                emit(key)
+                counters[slot] += 1
+        finally:
+            self._last_t = last_t
+            self._count = count
+            self._anchor = anchor
+            if anchor is None:
+                self._prev = None
+            else:
+                self._prev = (
+                    prev_obj
+                    if prev_obj is not None
+                    else PlanePoint(px, py, pt, pz)
+                )
+            self._interior = interior
+            self._retained = retained
+            self._retained_peak = retained_peak
+            stats = self._stats
+            for slot, n in enumerate(counters):
+                if n:
+                    label = _DECISION_LABELS[slot]
+                    stats[label] = stats.get(label, 0) + n
+        return count - start
 
     def _admit(self, point: PlanePoint) -> None:
         """Record an accepted point, deriving its anchor-relative offset."""

@@ -114,13 +114,12 @@ class FastBQSCompressor(CompressorBase):
                 return None, _D_UPPER
         else:
             scaled_eps = self._epsilon * denom
-            upper = 0.0
+            within = True
             for q in quadrants:
-                if q.count:
-                    c = q.upper_cross(dx, dy)
-                    if c > upper:
-                        upper = c
-            if upper <= scaled_eps:
+                if q.count and q.upper_cross_exceeds(dx, dy, scaled_eps):
+                    within = False
+                    break
+            if within:
                 # Anchor unchanged: reuse the offset computed for the bound.
                 self._admit_rel(point, dx, dy)
                 return None, _D_UPPER
@@ -139,6 +138,142 @@ class FastBQSCompressor(CompressorBase):
     def _ingest_many(self, points) -> int:
         """Batched ingest: integer decision slots, no per-point allocation."""
         return self._run_batch_stepped(points, self._step, _DECISION_LABELS)
+
+    def _ingest_xyt(self, ts, xs, ys) -> int:
+        """Columnar ingest: zero per-fix objects on the upper-bound path.
+
+        Same structure as the BQS columnar loop, minus everything hull: the
+        anchor is cached in local floats, and the previous fix is tracked
+        as floats and materialized only when a split commits it.
+        Degenerate arrivals reuse :meth:`_step`.
+        """
+        emit = self._emit
+        quadrants = self._quadrants
+        epsilon = self._epsilon
+        hyp = math.hypot
+        pa = polar_angle
+        qi = quadrant_index
+        counters = [0] * len(_DECISION_LABELS)
+        last_t = self._last_t
+        count = start = self._count
+        anchor = self._anchor
+        ax = ay = 0.0
+        if anchor is not None:
+            ax = anchor.x
+            ay = anchor.y
+        prev_obj = self._prev  # non-None means it is in sync with the floats
+        px = py = pt = pz = 0.0
+        if prev_obj is not None:
+            px, py, pt, pz = prev_obj.x, prev_obj.y, prev_obj.t, prev_obj.z
+        interior = self._interior
+        try:
+            for t, x, y in zip(ts, xs, ys):
+                if not (t >= last_t):
+                    raise ValueError(
+                        f"points must be non-decreasing in time "
+                        f"({last_t} then {t})"
+                    )
+                last_t = t
+                count += 1
+
+                if anchor is None:
+                    point = PlanePoint(x, y, t)
+                    anchor = point
+                    ax = x
+                    ay = y
+                    prev_obj = point
+                    px, py, pt, pz = x, y, t, 0.0
+                    emit(point)
+                    counters[_D_INIT] += 1
+                    continue
+
+                dx = x - ax
+                dy = y - ay
+
+                if interior == 0:
+                    quadrants[qi(dx, dy)].add((dx, dy), pa(dx, dy))
+                    interior = 1
+                    px, py, pt, pz = x, y, t, 0.0
+                    prev_obj = None
+                    counters[_D_ACCEPT] += 1
+                    continue
+
+                denom = hyp(dx, dy)
+                if denom == 0.0:
+                    # Rare: sync out, reuse the object-path logic, reload.
+                    self._anchor = anchor
+                    self._prev = (
+                        prev_obj
+                        if prev_obj is not None
+                        else PlanePoint(px, py, pt, pz)
+                    )
+                    self._interior = interior
+                    key, slot = self._step(PlanePoint(x, y, t))
+                    counters[slot] += 1
+                    if key is not None:
+                        emit(key)
+                    anchor = self._anchor
+                    ax = anchor.x
+                    ay = anchor.y
+                    prev_obj = self._prev
+                    px, py, pt, pz = (
+                        prev_obj.x, prev_obj.y, prev_obj.t, prev_obj.z
+                    )
+                    interior = self._interior
+                    continue
+
+                scaled_eps = epsilon * denom
+                within = True
+                for q in quadrants:
+                    if q.count and q.upper_cross_exceeds(dx, dy, scaled_eps):
+                        within = False
+                        break
+                if within:
+                    quadrants[qi(dx, dy)].add((dx, dy), pa(dx, dy))
+                    interior += 1
+                    px, py, pt, pz = x, y, t, 0.0
+                    prev_obj = None
+                    counters[_D_UPPER] += 1
+                    continue
+
+                # Uncertain or violated: split conservatively at prev.
+                key = (
+                    prev_obj
+                    if prev_obj is not None
+                    else PlanePoint(px, py, pt, pz)
+                )
+                anchor = key
+                ax = px
+                ay = py
+                for q in quadrants:
+                    q.reset()
+                ndx = x - ax
+                ndy = y - ay
+                quadrants[qi(ndx, ndy)].add((ndx, ndy), pa(ndx, ndy))
+                interior = 1
+                px, py, pt, pz = x, y, t, 0.0
+                prev_obj = None
+                emit(key)
+                counters[_D_UPPER] += 1
+        finally:
+            self._last_t = last_t
+            self._count = count
+            self._anchor = anchor
+            if anchor is None:
+                self._prev = None
+            else:
+                self._prev = (
+                    prev_obj
+                    if prev_obj is not None
+                    else PlanePoint(px, py, pt, pz)
+                )
+            self._interior = interior
+            stats = self._stats
+            for slot, n in enumerate(counters):
+                if n:
+                    label = _DECISION_LABELS[slot]
+                    stats[label] = stats.get(label, 0) + n
+        return count - start
 
     def _admit(self, point: PlanePoint) -> None:
         anchor = self._anchor

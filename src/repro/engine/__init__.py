@@ -1,0 +1,36 @@
+"""Multi-stream fleet engine: many devices, bounded memory, optional shards.
+
+Sits between :mod:`repro.compression` (which it drives) and
+:mod:`repro.bench` (which measures it).  Two engines behind one batch
+interface:
+
+:class:`StreamEngine`
+    Single-process multiplexer: per-device compressor state behind dict
+    dispatch, interleaved ``(device_id, t, x, y)`` batches regrouped into
+    per-device columns and ingested through the zero-object ``push_xyt``
+    path, bounded memory via ``max_devices`` (LRU finish/evict) and
+    ``idle_timeout`` policies.
+
+:class:`ShardedStreamEngine`
+    Multi-core scale-out: hash(device id) → worker process, columnar
+    batches over pipes, identical results to the single-process engine.
+
+:mod:`repro.engine.simulate`
+    Seeded fleet workload generator for benchmarks and demos
+    (``python -m repro.engine`` drives it end to end).
+"""
+
+from .core import DeviceId, Fix, StreamEngine
+from .sharded import ShardedStreamEngine, shard_of
+from .simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+
+__all__ = [
+    "DeviceId",
+    "Fix",
+    "ShardedStreamEngine",
+    "StreamEngine",
+    "bqs_fleet_factory",
+    "fleet_fixes",
+    "iter_fix_batches",
+    "shard_of",
+]

@@ -1,0 +1,102 @@
+"""CLI demo: ``python -m repro.engine``.
+
+Simulates a fleet of devices streaming interleaved fixes and drives them
+through the engine, printing throughput and the compression outcome::
+
+    PYTHONPATH=src python -m repro.engine --devices 200 --fixes 500
+    PYTHONPATH=src python -m repro.engine --devices 200 --fixes 500 --workers 2
+
+The default runs the single-process :class:`~repro.engine.core.
+StreamEngine`; ``--workers N`` (N >= 1) runs the sharded multiprocessing
+engine instead.  Use the benchmark subsystem (``python -m repro.bench``)
+for recorded, comparable numbers — this entry point is for watching the
+engine work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import sys
+import time
+from typing import Sequence
+
+from .core import StreamEngine
+from .sharded import ShardedStreamEngine
+from .simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.engine",
+        description="Stream a simulated device fleet through the engine.",
+    )
+    parser.add_argument("--devices", type=int, default=100)
+    parser.add_argument("--fixes", type=int, default=300, help="fixes per device")
+    parser.add_argument("--epsilon", type=float, default=10.0, help="metres")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--batch", type=int, default=4096, help="fixes per batch")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard over N worker processes (0 = single-process engine)",
+    )
+    parser.add_argument(
+        "--max-devices",
+        type=int,
+        default=None,
+        help="LRU-evict streams past this cap (per shard when sharded)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="finish streams idle for this many stream-seconds",
+    )
+    args = parser.parse_args(argv)
+
+    ids, cols = fleet_fixes(args.devices, args.fixes, seed=args.seed)
+    total = len(ids)
+    factory = functools.partial(bqs_fleet_factory, args.epsilon)
+    print(
+        f"fleet: {args.devices} devices x {args.fixes} fixes "
+        f"({total} total), epsilon={args.epsilon} m, "
+        f"{'sharded x' + str(args.workers) if args.workers else 'single-process'}",
+        file=sys.stderr,
+    )
+
+    start = time.perf_counter()
+    if args.workers:
+        engine = ShardedStreamEngine(
+            factory,
+            workers=args.workers,
+            max_devices=args.max_devices,
+            idle_timeout=args.idle_timeout,
+        )
+    else:
+        engine = StreamEngine(
+            factory,
+            max_devices=args.max_devices,
+            idle_timeout=args.idle_timeout,
+        )
+    for batch in iter_fix_batches(ids, cols, args.batch):
+        engine.push_columns(*batch)
+    results = engine.finish_all()
+    wall = time.perf_counter() - start
+
+    trajectories = sum(len(v) for v in results.values())
+    key_points = sum(len(t) for v in results.values() for t in v)
+    print(
+        f"{total} fixes -> {trajectories} trajectories, "
+        f"{key_points} key points "
+        f"(rate {key_points / total:.3f}) in {wall:.3f}s "
+        f"= {total / wall:,.0f} fixes/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,294 @@
+"""The single-process multi-stream engine.
+
+:class:`StreamEngine` multiplexes many concurrent device streams over the
+streaming compressors: each device gets its own compressor instance, fix
+batches arrive interleaved across devices (the shape a gateway or broker
+delivers), and the engine groups every batch into per-device columns and
+feeds them through the zero-object ``push_xyt`` path.  Two policies keep
+the engine's footprint bounded no matter how many devices come and go:
+
+``max_devices``
+    A hard cap on concurrently open streams.  Admitting a new device past
+    the cap finishes and evicts the least-recently-active stream first —
+    its compressed trajectory is delivered like any completed one.
+
+``idle_timeout``
+    Devices whose last fix is older than ``idle_timeout`` seconds of
+    *stream time* (the engine's clock is the max timestamp it has seen, so
+    behaviour is deterministic and replayable) are finished and evicted on
+    the next batch boundary.
+
+Both policies bound the *open-stream* state (compressors and per-device
+bookkeeping).  Sealed trajectories are a separate ledger: with the default
+``collect=True`` they accumulate in :attr:`StreamEngine.results` until the
+caller drains them, so a long-lived engine with heavy device churn should
+ship results downstream via ``on_finish`` and pass ``collect=False`` —
+then the engine holds no completed state at all.
+
+Because batches are regrouped per device in arrival order, the engine's
+output for every device is **identical** to running that device's fixes
+through its own compressor sequentially — the determinism tests pin this.
+A device that reappears after being evicted simply opens a fresh
+compressor; its stream is then represented by multiple trajectories, which
+is exactly the amnesic behaviour a bounded-memory collector needs.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from ..compression.base import StreamingCompressor
+from ..model.trajectory import CompressedTrajectory
+
+__all__ = ["StreamEngine", "DeviceId", "Fix"]
+
+DeviceId = Hashable
+Fix = Tuple[DeviceId, float, float, float]  #: ``(device_id, t, x, y)``
+
+
+class _DeviceState:
+    __slots__ = ("compressor", "last_t", "fixes")
+
+    def __init__(self, compressor: StreamingCompressor) -> None:
+        self.compressor = compressor
+        self.last_t = -float("inf")
+        self.fixes = 0
+
+
+class StreamEngine:
+    """Multiplex thousands of device streams over per-device compressors.
+
+    Args:
+        compressor_factory: called as ``factory(device_id)`` whenever a new
+            device stream opens; must return a fresh compressor.
+        max_devices: cap on concurrently open streams (LRU finish/evict
+            past it); ``None`` for unbounded.
+        idle_timeout: seconds of stream time after which an inactive device
+            is finished and evicted; ``None`` to keep idle streams open.
+        on_finish: callback ``(device_id, trajectory)`` invoked whenever a
+            stream is sealed (explicitly or by eviction).
+        collect: keep sealed trajectories in :attr:`results`.  Turn off
+            when ``on_finish`` ships them elsewhere and the engine should
+            hold no completed state at all.
+    """
+
+    def __init__(
+        self,
+        compressor_factory: Callable[[DeviceId], StreamingCompressor],
+        *,
+        max_devices: int | None = None,
+        idle_timeout: float | None = None,
+        on_finish: Callable[[DeviceId, CompressedTrajectory], None] | None = None,
+        collect: bool = True,
+    ) -> None:
+        if max_devices is not None and max_devices < 1:
+            raise ValueError(f"max_devices must be >= 1, got {max_devices!r}")
+        if idle_timeout is not None and not idle_timeout > 0.0:
+            raise ValueError(f"idle_timeout must be > 0, got {idle_timeout!r}")
+        self._factory = compressor_factory
+        self._max_devices = max_devices
+        self._idle_timeout = idle_timeout
+        self._on_finish = on_finish
+        self._collect = collect
+        #: Open streams; dict order doubles as the LRU order (least
+        #: recently *updated* first — batches re-insert on update).
+        self._devices: Dict[DeviceId, _DeviceState] = {}
+        #: Sealed trajectories per device (a device evicted and reopened
+        #: accumulates one entry per stream), when ``collect`` is on.
+        self.results: Dict[DeviceId, List[CompressedTrajectory]] = {}
+        self._clock = -float("inf")
+        self._total_fixes = 0
+        self._sealed = 0
+        self._evicted = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def active_devices(self) -> int:
+        """Streams currently open."""
+        return len(self._devices)
+
+    @property
+    def total_fixes(self) -> int:
+        """Fixes ingested over the engine's lifetime."""
+        return self._total_fixes
+
+    @property
+    def sealed_trajectories(self) -> int:
+        """Trajectories finished so far (explicitly or by eviction)."""
+        return self._sealed
+
+    @property
+    def evictions(self) -> int:
+        """Streams sealed by a policy (LRU cap or idle timeout)."""
+        return self._evicted
+
+    @property
+    def clock(self) -> float:
+        """Stream time: the maximum timestamp ingested so far."""
+        return self._clock
+
+    def device_ids(self) -> list[DeviceId]:
+        """Open device ids, least recently active first."""
+        return list(self._devices)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def push_fix(self, device_id: DeviceId, t: float, x: float, y: float) -> None:
+        """Fold a single fix in (convenience; batches are the fast path)."""
+        self.push_columns((device_id,), (t,), (x,), (y,))
+
+    def push_batch(self, fixes: Iterable[Fix]) -> int:
+        """Fold an interleaved batch of ``(device_id, t, x, y)`` fixes in.
+
+        Fixes are regrouped into per-device columns in arrival order, so
+        per-device output is identical to a sequential run.  Returns the
+        number of fixes consumed.  Groups directly from the tuple stream
+        (one pass) rather than delegating through :meth:`push_columns`,
+        which would unzip and regroup every fix twice.
+        """
+        groups: Dict[DeviceId, tuple[array, array, array]] = {}
+        get = groups.get
+        for device_id, t, x, y in fixes:
+            cols = get(device_id)
+            if cols is None:
+                cols = (array("d"), array("d"), array("d"))
+                groups[device_id] = cols
+            cols[0].append(t)
+            cols[1].append(x)
+            cols[2].append(y)
+        return self._dispatch_groups(groups)
+
+    def push_columns(
+        self,
+        device_ids: Sequence[DeviceId],
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> int:
+        """Fold a columnar interleaved batch in (``device_ids`` parallel to
+        the coordinate columns); the zero-object fast path end to end."""
+        n = len(device_ids)
+        if not (len(ts) == len(xs) == len(ys) == n):
+            raise ValueError(
+                "column length mismatch: "
+                f"ids={n}, ts={len(ts)}, xs={len(xs)}, ys={len(ys)}"
+            )
+        groups: Dict[DeviceId, tuple[array, array, array]] = {}
+        get = groups.get
+        for i in range(n):
+            device_id = device_ids[i]
+            cols = get(device_id)
+            if cols is None:
+                cols = (array("d"), array("d"), array("d"))
+                groups[device_id] = cols
+            cols[0].append(ts[i])
+            cols[1].append(xs[i])
+            cols[2].append(ys[i])
+        return self._dispatch_groups(groups)
+
+    def _dispatch_groups(
+        self, groups: Dict[DeviceId, tuple[array, array, array]]
+    ) -> int:
+        """Feed per-device columns to their compressors; returns fixes consumed.
+
+        A device whose columns fail mid-ingest (e.g. a timestamp going
+        backwards) has its valid prefix consumed — matching ``push_xyt``'s
+        own partial-consumption contract — and the engine's accounting
+        (per-device fix counts, recency, the stream clock) reflects exactly
+        what the compressors absorbed before the error propagates;
+        not-yet-dispatched devices in the batch are untouched.
+        """
+        devices = self._devices
+        consumed = 0
+        batch_clock = self._clock
+        try:
+            for device_id, (ts, xs, ys) in groups.items():
+                state = devices.get(device_id)
+                opened = state is None
+                if opened:
+                    state = self._open_device(device_id)
+                before = state.compressor.pushed
+                try:
+                    state.compressor.push_xyt(ts, xs, ys)
+                finally:
+                    n = state.compressor.pushed - before
+                    if n:
+                        consumed += n
+                        state.fixes += n
+                        last = ts[n - 1]
+                        if last > state.last_t:
+                            state.last_t = last
+                        if last > batch_clock:
+                            batch_clock = last
+                        if not opened:
+                            # Refresh LRU recency (dict order is the
+                            # eviction order) — only for batches that
+                            # actually ingested, so a device spamming
+                            # invalid fixes cannot keep itself resident
+                            # while healthy quiet devices get evicted.
+                            del devices[device_id]
+                            devices[device_id] = state
+        finally:
+            self._total_fixes += consumed
+            if batch_clock > self._clock:
+                self._clock = batch_clock
+        if self._idle_timeout is not None:
+            self._evict_idle()
+        return consumed
+
+    def _open_device(self, device_id: DeviceId) -> _DeviceState:
+        devices = self._devices
+        if self._max_devices is not None:
+            while len(devices) >= self._max_devices:
+                oldest = next(iter(devices))
+                self._seal(oldest, evicted=True)
+        state = _DeviceState(self._factory(device_id))
+        devices[device_id] = state
+        return state
+
+    def _evict_idle(self) -> None:
+        horizon = self._clock - self._idle_timeout
+        # Collect first: sealing mutates the dict.
+        stale = [
+            device_id
+            for device_id, state in self._devices.items()
+            if state.last_t < horizon
+        ]
+        for device_id in stale:
+            self._seal(device_id, evicted=True)
+
+    # -- sealing -------------------------------------------------------------
+
+    def _seal(self, device_id: DeviceId, evicted: bool) -> CompressedTrajectory:
+        state = self._devices.pop(device_id)
+        trajectory = state.compressor.finish()
+        self._sealed += 1
+        if evicted:
+            self._evicted += 1
+        if self._collect:
+            self.results.setdefault(device_id, []).append(trajectory)
+        if self._on_finish is not None:
+            self._on_finish(device_id, trajectory)
+        return trajectory
+
+    def finish_device(self, device_id: DeviceId) -> CompressedTrajectory:
+        """Seal one device's stream now and return its trajectory."""
+        if device_id not in self._devices:
+            raise KeyError(f"no open stream for device {device_id!r}")
+        return self._seal(device_id, evicted=False)
+
+    def finish_all(self) -> Dict[DeviceId, List[CompressedTrajectory]]:
+        """Seal every open stream and return all collected results.
+
+        The returned mapping includes trajectories sealed earlier by
+        policies (when ``collect`` is on); each device maps to its sealed
+        trajectories in completion order.  The engine stays usable: later
+        batches reopen fresh streams for their devices (``finish_all`` is a
+        checkpoint, not a shutdown — unlike the sharded engine, whose
+        workers exit).
+        """
+        for device_id in list(self._devices):
+            self._seal(device_id, evicted=False)
+        return self.results

@@ -1,0 +1,249 @@
+"""Sharded multi-core fleet engine: hash(device) → worker process.
+
+:class:`ShardedStreamEngine` runs one :class:`~repro.engine.core.
+StreamEngine` per worker process and routes every device to exactly one
+worker by a stable hash of its id, so per-device fix order — and therefore
+per-device output — is preserved no matter how batches interleave.  Fix
+batches cross the process boundary as columnar ``array('d')`` payloads over
+``multiprocessing`` pipes: the cheapest serialization the stdlib offers
+(arrays pickle as flat byte buffers), and the worker feeds them straight
+into the zero-object ``push_xyt`` path.
+
+The output is identical to the single-process engine (the equivalence
+tests pin this); what sharding buys is CPU scale-out — each worker burns
+its own core.  On a single-core host the pipe hop is pure overhead, so
+expect speedups only when ``workers`` ≤ available cores; the fleet
+benchmark records both regimes honestly.
+
+``compressor_factory`` must be picklable (a module-level function or a
+``functools.partial`` over one), since it is shipped to the workers once at
+start-up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from array import array
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..model.trajectory import CompressedTrajectory
+from .core import DeviceId, Fix, StreamEngine
+
+__all__ = ["ShardedStreamEngine", "shard_of"]
+
+
+def shard_of(device_id: DeviceId, workers: int) -> int:
+    """Stable shard index of a device (crc32, not ``hash``: the builtin is
+    salted per process and would re-shard devices on every restart)."""
+    if isinstance(device_id, bytes):
+        payload = device_id
+    else:
+        payload = str(device_id).encode("utf-8", "surrogatepass")
+    return zlib.crc32(payload) % workers
+
+
+def _worker_main(conn, compressor_factory, engine_kwargs) -> None:
+    """Worker loop: apply columnar pushes, answer ``finish`` with results.
+
+    On an ingestion error the worker reports once, then keeps draining
+    messages (discarding further pushes) so the parent never blocks on a
+    full pipe; the error is re-raised parent-side at ``finish_all``.
+    """
+    engine = StreamEngine(compressor_factory, **engine_kwargs)
+    failure: str | None = None
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "push":
+                if failure is None:
+                    try:
+                        engine.push_columns(
+                            message[1], message[2], message[3], message[4]
+                        )
+                    except Exception as exc:  # reported, not fatal to the pipe
+                        failure = f"{type(exc).__name__}: {exc}"
+            elif tag == "finish":
+                if failure is not None:
+                    conn.send(("error", failure))
+                else:
+                    conn.send(("ok", engine.finish_all()))
+                return
+            else:
+                conn.send(("error", f"unknown message tag {tag!r}"))
+                return
+    except EOFError:
+        pass
+    finally:
+        conn.close()
+
+
+class ShardedStreamEngine:
+    """Fan a fleet of device streams out over worker processes.
+
+    Accepts the same batch shapes as :class:`StreamEngine` and produces the
+    same results; ``max_devices`` / ``idle_timeout`` policies apply *per
+    shard*.  One behavioural difference: this engine is one-shot — its
+    workers exit at :meth:`finish_all`, so pushing afterwards raises
+    ``RuntimeError`` (the in-process engine treats ``finish_all`` as a
+    checkpoint and keeps accepting batches).  Use as a context manager, or
+    call :meth:`finish_all` / :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        compressor_factory: Callable[[DeviceId], object],
+        workers: int = 2,
+        *,
+        max_devices: int | None = None,
+        idle_timeout: float | None = None,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+        engine_kwargs = {
+            "max_devices": max_devices,
+            "idle_timeout": idle_timeout,
+        }
+        self.workers = workers
+        self._conns = []
+        self._procs = []
+        self._finished = False
+        try:
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, compressor_factory, engine_kwargs),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+
+    # -- ingestion -----------------------------------------------------------
+
+    def push_batch(self, fixes: Iterable[Fix]) -> int:
+        """Route an interleaved ``(device_id, t, x, y)`` batch to the shards.
+
+        Groups by shard directly from the tuple stream (one pass), the same
+        way :meth:`StreamEngine.push_batch` groups by device.
+        """
+        workers = self.workers
+        shards: Dict[int, tuple[list, array, array, array]] = {}
+        get = shards.get
+        n = 0
+        for device_id, t, x, y in fixes:
+            shard = shard_of(device_id, workers)
+            payload = get(shard)
+            if payload is None:
+                payload = ([], array("d"), array("d"), array("d"))
+                shards[shard] = payload
+            payload[0].append(device_id)
+            payload[1].append(t)
+            payload[2].append(x)
+            payload[3].append(y)
+            n += 1
+        self._send_shards(shards)
+        return n
+
+    def push_columns(
+        self,
+        device_ids: Sequence[DeviceId],
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> int:
+        """Route a columnar interleaved batch to the shards."""
+        n = len(device_ids)
+        if not (len(ts) == len(xs) == len(ys) == n):
+            raise ValueError(
+                "column length mismatch: "
+                f"ids={n}, ts={len(ts)}, xs={len(xs)}, ys={len(ys)}"
+            )
+        workers = self.workers
+        shards: Dict[int, tuple[list, array, array, array]] = {}
+        get = shards.get
+        for i in range(n):
+            device_id = device_ids[i]
+            shard = shard_of(device_id, workers)
+            payload = get(shard)
+            if payload is None:
+                payload = ([], array("d"), array("d"), array("d"))
+                shards[shard] = payload
+            payload[0].append(device_id)
+            payload[1].append(ts[i])
+            payload[2].append(xs[i])
+            payload[3].append(ys[i])
+        self._send_shards(shards)
+        return n
+
+    def _send_shards(self, shards) -> None:
+        if self._finished:
+            raise RuntimeError("finish_all() already called")
+        for shard, (ids, ts, xs, ys) in shards.items():
+            self._conns[shard].send(("push", ids, ts, xs, ys))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish_all(self) -> Dict[DeviceId, List[CompressedTrajectory]]:
+        """Seal every stream on every worker and merge their results.
+
+        Raises ``RuntimeError`` carrying the first worker-side ingestion
+        error, if any occurred.
+        """
+        if self._finished:
+            raise RuntimeError("finish_all() already called")
+        self._finished = True
+        merged: Dict[DeviceId, List[CompressedTrajectory]] = {}
+        errors: List[str] = []
+        try:
+            for shard, conn in enumerate(self._conns):
+                try:
+                    conn.send(("finish",))
+                except (BrokenPipeError, OSError) as exc:
+                    errors.append(f"worker {shard} unreachable: {exc}")
+            for shard, conn in enumerate(self._conns):
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError) as exc:
+                    # Worker died without replying (e.g. an exception
+                    # outside its push handler); keep the healthy shards'
+                    # results and report the casualty.
+                    errors.append(f"worker {shard} died before replying: {exc!r}")
+                    continue
+                if status == "ok":
+                    merged.update(payload)  # device ↛ two shards: keys disjoint
+                else:
+                    errors.append(payload)
+        finally:
+            self.close()
+        if errors:
+            raise RuntimeError(f"sharded ingestion failed: {errors[0]}")
+        return merged
+
+    def close(self) -> None:
+        """Tear the workers down (idempotent; called by ``finish_all``)."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "ShardedStreamEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""Seeded fleet simulation: many devices, one interleaved fix stream.
+
+Builds the input shape the fleet engine is designed for — thousands of
+devices reporting on a shared clock, their fixes arriving interleaved the
+way a gateway would deliver them.  Each device runs its own correlated
+random walk (:func:`repro.compression.evaluate.synthetic_track` with a
+per-device seed), and the interleaving rotates the device order every tick
+so batches never align with device boundaries.  Fully deterministic for a
+given seed, pure stdlib, columnar from the start.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from ..compression.bqs import BQSCompressor
+from ..compression.evaluate import synthetic_track
+from ..model.columns import TrajectoryColumns
+
+__all__ = ["bqs_fleet_factory", "fleet_fixes", "iter_fix_batches"]
+
+
+def bqs_fleet_factory(epsilon: float, device_id) -> BQSCompressor:
+    """The canonical per-device BQS factory for fleet demos and benchmarks.
+
+    Module-level (and ``functools.partial``-friendly) so
+    :class:`~repro.engine.sharded.ShardedStreamEngine` workers can unpickle
+    it; the engine CLI and the fleet benchmark share it so they always
+    measure the same compressor configuration.
+    """
+    return BQSCompressor(epsilon)
+
+
+def fleet_fixes(
+    devices: int,
+    fixes_per_device: int,
+    seed: int = 7,
+) -> Tuple[List[str], TrajectoryColumns]:
+    """One interleaved fleet stream as parallel ``(device_ids, columns)``.
+
+    Returns ``ids`` (one device id per fix, e.g. ``"dev-0042"``) parallel
+    to a :class:`TrajectoryColumns` of the fixes.  All devices share the
+    1 Hz clock, so timestamps are non-decreasing globally as well as per
+    device; within each tick the reporting order rotates by one device per
+    tick.
+    """
+    if devices < 1:
+        raise ValueError(f"need at least one device, got {devices!r}")
+    if fixes_per_device < 1:
+        raise ValueError(
+            f"need at least one fix per device, got {fixes_per_device!r}"
+        )
+    names = [f"dev-{i:04d}" for i in range(devices)]
+    tracks = [
+        synthetic_track(fixes_per_device, seed=seed * 10_007 + i)
+        for i in range(devices)
+    ]
+    ids: List[str] = []
+    cols = TrajectoryColumns()
+    append_t = cols.ts.append
+    append_x = cols.xs.append
+    append_y = cols.ys.append
+    for tick in range(fixes_per_device):
+        offset = tick % devices
+        for j in range(devices):
+            d = (j + offset) % devices
+            p = tracks[d][tick]
+            ids.append(names[d])
+            append_t(p.t)
+            append_x(p.x)
+            append_y(p.y)
+    return ids, cols
+
+
+def iter_fix_batches(
+    device_ids: Sequence[str],
+    cols: TrajectoryColumns,
+    batch_size: int,
+) -> Iterator[Tuple[Sequence[str], Sequence[float], Sequence[float], Sequence[float]]]:
+    """Chunk an interleaved fleet stream into ``(ids, ts, xs, ys)`` batches."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+    n = len(device_ids)
+    if len(cols) != n:
+        raise ValueError(
+            f"ids/columns length mismatch: {n} vs {len(cols)}"
+        )
+    for start in range(0, n, batch_size):
+        stop = start + batch_size
+        yield (
+            device_ids[start:stop],
+            cols.ts[start:stop],
+            cols.xs[start:stop],
+            cols.ys[start:stop],
+        )

@@ -1,5 +1,6 @@
 """Trajectory data model: points, projections, trajectories, reconstruction."""
 
+from .columns import TrajectoryColumns
 from .point import EARTH_RADIUS_M, LocationPoint, PlanePoint, haversine_m, iter_plane_points
 from .projection import (
     LocalTangentProjection,
@@ -19,6 +20,7 @@ from .reconstruction import (
     reconstruct_at,
     reconstruct_series,
     synchronized_deviation,
+    synchronized_deviation_xyt,
 )
 from .statistics import EmpiricalDistribution, OnlineGaussian, RunningStats
 from .trajectory import (
@@ -44,6 +46,7 @@ __all__ = [
     "RunningStats",
     "Segment",
     "Trajectory",
+    "TrajectoryColumns",
     "TransverseMercator",
     "UTMProjection",
     "UniformProgress",
@@ -56,6 +59,7 @@ __all__ = [
     "reconstruct_series",
     "segment_deviation",
     "synchronized_deviation",
+    "synchronized_deviation_xyt",
     "unproject_track",
     "utm_zone_for",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "reconstruct_at",
     "reconstruct_series",
     "synchronized_deviation",
+    "synchronized_deviation_xyt",
     "max_synchronized_deviation",
 ]
 
@@ -120,6 +121,29 @@ def reconstruct_at(
     )
 
 
+def synchronized_deviation_xyt(
+    px: float, py: float, pt: float,
+    ax: float, ay: float, at: float,
+    bx: float, by: float, bt: float,
+) -> float:
+    """Uniform-progress SED from bare coordinates (the columnar hot path).
+
+    Float-for-float identical to :func:`synchronized_deviation` with the
+    default (uniform) progress distribution, but takes the nine raw
+    coordinates so batch callers (TD-TR's column scan) skip the
+    ``PlanePoint`` materialization entirely.
+    """
+    if bt <= at:
+        return min(
+            math.hypot(px - ax, py - ay),
+            math.hypot(px - bx, py - by),
+        )
+    prog = min(1.0, max(0.0, (pt - at) / (bt - at)))
+    x = ax + prog * (bx - ax)
+    y = ay + prog * (by - ay)
+    return math.hypot(px - x, py - y)
+
+
 def synchronized_deviation(
     p: PlanePoint,
     v_start: PlanePoint,
@@ -135,13 +159,18 @@ def synchronized_deviation(
     A zero-duration segment (co-timestamped key points) has no unique
     reconstruction, so the nearer endpoint is used.
     """
+    if distribution is None:
+        return synchronized_deviation_xyt(
+            p.x, p.y, p.t,
+            v_start.x, v_start.y, v_start.t,
+            v_end.x, v_end.y, v_end.t,
+        )
     if v_end.t <= v_start.t:
         return min(
             math.hypot(p.x - v_start.x, p.y - v_start.y),
             math.hypot(p.x - v_end.x, p.y - v_end.y),
         )
-    dist = distribution if distribution is not None else UniformProgress()
-    prog = dist.progress(p.t, v_start.t, v_end.t)
+    prog = distribution.progress(p.t, v_start.t, v_end.t)
     x = interpolate(v_start.x, v_end.x, prog)
     y = interpolate(v_start.y, v_end.y, prog)
     return math.hypot(p.x - x, p.y - y)

@@ -64,6 +64,12 @@ class TestHarness:
         assert record.algorithm == "bqs"
         assert record.points == 900
         assert record.points_per_sec > 0.0
+        # The columnar pass ran and audited against the object path.
+        assert record.columnar_points_per_sec > 0.0
+        assert record.columnar_wall_seconds > 0.0
+        assert record.columnar_speedup == pytest.approx(
+            record.wall_seconds / record.columnar_wall_seconds
+        )
         assert 0.0 < record.push_us_p50 <= record.push_us_p99 <= record.push_us_max
         assert record.within_bound is True
         assert record.peak_retained_points > 0
@@ -113,12 +119,13 @@ class TestCLI:
                 "--workloads", "random_walk,flight_arc",
                 "--algorithms", "bqs,fast-bqs,uniform",
                 "--baseline", "pre_pr_bqs_pps=1234.5",
+                "--no-fleet",
                 "--out", str(out),
             ]
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert doc["baselines"] == {"pre_pr_bqs_pps": 1234.5}
         assert doc["workloads"]["random_walk"]["points"] == 400
         keys = {(r["workload"], r["algorithm"]) for r in doc["results"]}
@@ -139,6 +146,7 @@ class TestCLI:
                 "--smoke",
                 "--workloads", "random_walk",
                 "--algorithms", "uniform",
+                "--no-fleet",
                 "--out", str(out),
             ]
         )
@@ -211,3 +219,104 @@ class TestCLI:
     def test_diff_benches_threshold_validation(self):
         with pytest.raises(ValueError):
             diff_benches({"results": []}, {"results": []}, threshold=0.0)
+
+    def test_fail_on_behaviour_separates_digest_from_timing(self, tmp_path):
+        """The CI policy: digest drift fails, throughput deltas only warn."""
+
+        def bench_doc(pps, digest):
+            return {
+                "schema": 2,
+                "results": [
+                    {
+                        "workload": "random_walk",
+                        "algorithm": "bqs",
+                        "points": 1000,
+                        "points_per_sec": pps,
+                        "key_points": 50,
+                        "key_digest": digest,
+                    }
+                ],
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(bench_doc(100_000.0, "aaaa")))
+        # 10x slower but same output: warns, exits 0.
+        new.write_text(json.dumps(bench_doc(10_000.0, "aaaa")))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        # Same speed but moved key points: exits 1.
+        new.write_text(json.dumps(bench_doc(100_000.0, "bbbb")))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+
+    def test_fleet_digest_drift_is_behaviour(self, tmp_path):
+        """The fleet section participates in the baseline gate too."""
+
+        def fleet_doc(digest, fps=50_000.0):
+            return {
+                "schema": 2,
+                "results": [],
+                "fleet": [
+                    {
+                        "mode": "engine",
+                        "devices": 25,
+                        "fixes_per_device": 80,
+                        "fixes_per_sec": fps,
+                        "key_digest": digest,
+                    }
+                ],
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(fleet_doc("aaaa")))
+        new.write_text(json.dumps(fleet_doc("aaaa", fps=5_000.0)))  # slow only
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        new.write_text(json.dumps(fleet_doc("bbbb")))  # output moved
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+
+
+class TestFleetBench:
+    def test_fleet_modes_agree_and_record(self):
+        from repro.bench import run_fleet_bench
+
+        records = run_fleet_bench(
+            6, 60, epsilon=10.0, seed=3, batch_size=64, worker_counts=(2,)
+        )
+        assert [r.mode for r in records] == ["per-device", "engine", "sharded-2"]
+        digests = {r.key_digest for r in records}
+        assert len(digests) == 1  # determinism across every mode
+        for r in records:
+            assert r.fixes == 360
+            assert r.fixes_per_sec > 0.0
+            assert r.trajectories == 6
+            json.dumps(r.to_json())
+
+    def test_fleet_digest_sensitive_to_output(self):
+        from repro.bench import fleet_digest
+        from repro.compression import BQSCompressor, synthetic_track
+
+        track = synthetic_track(200, seed=1)
+        a = {"dev": [BQSCompressor(10.0).compress(track)]}
+        b = {"dev": [BQSCompressor(5.0).compress(track)]}
+        assert fleet_digest(a) == fleet_digest(a)
+        assert fleet_digest(a) != fleet_digest(b)
+
+
+class TestProfileFlag:
+    def test_profile_prints_cumulative_stats_without_json(self, tmp_path, capsys):
+        out = tmp_path / "ignored.json"
+        code = main(
+            [
+                "--points", "300",
+                "--workloads", "random_walk",
+                "--algorithms", "bqs",
+                "--profile",
+                "--profile-top", "5",
+                "--no-fleet",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "cumulative" in captured  # pstats table header
+        assert not out.exists()  # profiling replaces the benchmark run

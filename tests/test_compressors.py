@@ -336,3 +336,65 @@ class TestBaselineSpecifics:
         track = synthetic_track(3000, seed=13)
         ct = TDTRCompressor(EPSILON).compress(track)
         assert max_synchronized_deviation(ct, track) <= EPSILON * (1.0 + 1e-9)
+
+
+class TestBatchBaselineRecursionDepth:
+    """Regression: the split-at-worst-point traversal must be iterative.
+
+    A decreasing-amplitude zigzag pins the worst point next to the start of
+    every range, so the equivalent recursion depth is ``n - 2`` — a
+    recursive implementation would overflow the interpreter stack for any
+    monotone trajectory longer than ``sys.getrecursionlimit()``, long
+    before the 100k-point streams the benchmarks run.
+    """
+
+    @staticmethod
+    def _deep_zigzag(n):
+        # Monotone in x and t; |y| decreases with i so every range's worst
+        # deviation is attained right after its left end.
+        return [
+            PlanePoint(
+                float(i),
+                (50.0 + (n - i) * 0.01) * (1.0 if i % 2 == 0 else -1.0),
+                float(i),
+            )
+            for i in range(n)
+        ]
+
+    def test_equivalent_depth_exceeds_recursion_limit(self):
+        import sys
+
+        n = sys.getrecursionlimit() + 100
+        points = self._deep_zigzag(n)
+        dp = DouglasPeucker(1.0)
+        # Instrument the same explicit-stack traversal with a depth counter.
+        from repro.model import TrajectoryColumns
+
+        cols = TrajectoryColumns.from_points(points)
+        max_depth = 0
+        stack = [(0, n - 1, 1)]
+        while stack:
+            lo, hi, depth = stack.pop()
+            if depth > max_depth:
+                max_depth = depth
+            if hi - lo < 2:
+                continue
+            worst, idx = dp._scan_worst(cols.ts, cols.xs, cols.ys, lo, hi)
+            if worst > 1.0:
+                stack.append((lo, idx, depth + 1))
+                stack.append((idx, hi, depth + 1))
+        assert max_depth > sys.getrecursionlimit()
+
+    @pytest.mark.parametrize(
+        "make", [lambda: DouglasPeucker(1.0), lambda: TDTRCompressor(1.0)],
+        ids=["douglas-peucker", "td-tr"],
+    )
+    def test_deep_monotone_stream_compresses_without_overflow(self, make):
+        import sys
+
+        n = sys.getrecursionlimit() + 100
+        points = self._deep_zigzag(n)
+        compressed = make().compress(points)  # must not RecursionError
+        # Every zigzag tooth deviates far beyond epsilon: all points kept.
+        assert len(compressed) == n
+        assert compressed.max_deviation_from(points) <= 1.0 + 1e-9

@@ -1,0 +1,299 @@
+"""Fleet engine tests: determinism, bounded-memory policies, sharding.
+
+The engine's contract is that multiplexing never changes compression
+output: every device's trajectory must equal the one produced by running
+that device's fixes through its own compressor sequentially, regardless of
+how the interleaved stream is batched, which entry point is used, or how
+many worker processes shard the fleet.
+"""
+
+import functools
+
+import pytest
+
+from repro.compression import BQSCompressor, FastBQSCompressor
+from repro.engine import (
+    ShardedStreamEngine,
+    StreamEngine,
+    fleet_fixes,
+    iter_fix_batches,
+    shard_of,
+)
+
+
+def _factory(device_id):
+    return BQSCompressor(10.0)
+
+
+def _fast_factory(epsilon, device_id):
+    """Module-level (and partial-friendly): picklable for sharded workers."""
+    return FastBQSCompressor(epsilon)
+
+
+def _sequential_reference(ids, cols, make=_factory):
+    per_device = {}
+    for i, device_id in enumerate(ids):
+        per_device.setdefault(device_id, ([], [], []))
+        ts, xs, ys = per_device[device_id]
+        ts.append(cols.ts[i])
+        xs.append(cols.xs[i])
+        ys.append(cols.ys[i])
+    reference = {}
+    for device_id, (ts, xs, ys) in per_device.items():
+        compressor = make(device_id)
+        compressor.push_xyt(ts, xs, ys)
+        reference[device_id] = compressor.finish().key_points
+    return reference
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return fleet_fixes(30, 200, seed=5)
+
+
+class TestSimulate:
+    def test_deterministic_and_interleaved(self):
+        ids_a, cols_a = fleet_fixes(8, 50, seed=2)
+        ids_b, cols_b = fleet_fixes(8, 50, seed=2)
+        _, cols_c = fleet_fixes(8, 50, seed=3)
+        assert ids_a == ids_b and cols_a == cols_b
+        assert cols_a != cols_c  # a different seed moves the fleet
+        assert len(ids_a) == 8 * 50
+        # Interleaved: consecutive fixes belong to different devices.
+        assert ids_a[0] != ids_a[1]
+        # Globally non-decreasing timestamps (shared 1 Hz clock).
+        assert list(cols_a.ts) == sorted(cols_a.ts)
+
+    def test_batch_iterator_covers_stream(self, fleet):
+        ids, cols = fleet
+        seen = 0
+        for batch_ids, ts, xs, ys in iter_fix_batches(ids, cols, 999):
+            assert len(batch_ids) == len(ts) == len(xs) == len(ys)
+            seen += len(batch_ids)
+        assert seen == len(ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fleet_fixes(0, 10)
+        with pytest.raises(ValueError):
+            fleet_fixes(3, 0)
+        ids, cols = fleet_fixes(2, 5)
+        with pytest.raises(ValueError):
+            list(iter_fix_batches(ids, cols, 0))
+
+
+class TestStreamEngine:
+    def test_matches_sequential_per_device_run(self, fleet):
+        ids, cols = fleet
+        reference = _sequential_reference(ids, cols)
+        engine = StreamEngine(_factory)
+        for batch in iter_fix_batches(ids, cols, 701):
+            engine.push_columns(*batch)
+        results = engine.finish_all()
+        assert set(results) == set(reference)
+        for device_id, expected in reference.items():
+            assert len(results[device_id]) == 1
+            assert results[device_id][0].key_points == expected, device_id
+        assert engine.total_fixes == len(ids)
+        assert engine.sealed_trajectories == len(reference)
+
+    def test_batching_invariance(self, fleet):
+        """One giant batch, odd chunks, and tuple-based push_batch agree."""
+        ids, cols = fleet
+        one = StreamEngine(_factory)
+        one.push_columns(ids, cols.ts, cols.xs, cols.ys)
+        res_one = one.finish_all()
+
+        tup = StreamEngine(_factory)
+        fixes = list(zip(ids, cols.ts, cols.xs, cols.ys))
+        for start in range(0, len(fixes), 333):
+            tup.push_batch(fixes[start:start + 333])
+        res_tup = tup.finish_all()
+
+        fix_by_fix = StreamEngine(_factory)
+        for device_id, t, x, y in fixes[:600]:
+            fix_by_fix.push_fix(device_id, t, x, y)
+
+        assert {d: v[0].key_points for d, v in res_one.items()} == {
+            d: v[0].key_points for d, v in res_tup.items()
+        }
+        assert fix_by_fix.total_fixes == 600
+
+    def test_max_devices_lru_eviction(self, fleet):
+        ids, cols = fleet
+        engine = StreamEngine(_factory, max_devices=7)
+        for batch in iter_fix_batches(ids, cols, 500):
+            engine.push_columns(*batch)
+        assert engine.active_devices <= 7
+        assert engine.evictions > 0
+        results = engine.finish_all()
+        # Every sealed segment is still a valid error-bounded trajectory.
+        total = sum(len(v) for v in results.values())
+        assert total == engine.sealed_trajectories
+        assert total > len(set(ids))  # eviction split streams
+
+    def test_idle_timeout_eviction(self):
+        engine = StreamEngine(_factory, idle_timeout=50.0)
+        # Device a reports continuously; device b goes quiet at t=10.
+        engine.push_batch([("a", float(t), float(t), 0.0) for t in range(10)])
+        engine.push_batch([("b", float(t), 0.0, float(t)) for t in range(10)])
+        assert engine.active_devices == 2
+        engine.push_batch([("a", 100.0, 100.0, 0.0)])
+        assert engine.active_devices == 1
+        assert engine.evictions == 1
+        assert "b" in engine.results  # sealed trajectory delivered
+
+    def test_on_finish_callback_without_collect(self):
+        sealed = []
+        engine = StreamEngine(
+            _factory,
+            collect=False,
+            on_finish=lambda device_id, traj: sealed.append((device_id, len(traj))),
+        )
+        engine.push_batch([("x", 0.0, 0.0, 0.0), ("x", 1.0, 5.0, 0.0)])
+        results = engine.finish_all()
+        assert results == {}
+        assert sealed == [("x", 2)]
+
+    def test_finish_device_and_unknown_device(self):
+        engine = StreamEngine(_factory)
+        engine.push_fix("a", 0.0, 0.0, 0.0)
+        trajectory = engine.finish_device("a")
+        assert len(trajectory) == 1
+        with pytest.raises(KeyError):
+            engine.finish_device("a")
+
+    def test_column_length_validation(self):
+        engine = StreamEngine(_factory)
+        with pytest.raises(ValueError, match="length mismatch"):
+            engine.push_columns(["a"], [0.0, 1.0], [0.0], [0.0])
+
+    def test_zero_consuming_batch_does_not_refresh_lru(self):
+        """A device spamming invalid fixes must not promote itself over
+        healthy quiet devices in the eviction order."""
+        engine = StreamEngine(_factory, max_devices=2)
+        engine.push_batch([("a", 10.0, 0.0, 0.0), ("b", 10.0, 0.0, 0.0)])
+        with pytest.raises(ValueError):
+            engine.push_batch([("a", 1.0, 0.0, 0.0)])  # consumes nothing
+        assert engine.device_ids() == ["a", "b"]  # "a" stays least recent
+        engine.push_batch([("c", 11.0, 0.0, 0.0)])  # cap evicts "a"
+        assert engine.device_ids() == ["b", "c"]
+        assert engine.evictions == 1
+
+    def test_mid_batch_error_keeps_accounting_consistent(self):
+        """A device whose columns fail mid-ingest keeps its valid prefix,
+        and the engine's clock/counters match what was actually consumed —
+        so eviction policies keep working after the error."""
+        engine = StreamEngine(_factory, idle_timeout=50.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            engine.push_batch(
+                [
+                    ("a", 0.0, 0.0, 0.0),
+                    ("a", 1.0, 1.0, 0.0),
+                    ("b", 10.0, 0.0, 0.0),
+                    ("b", 5.0, 0.0, 0.0),  # travels back in time
+                ]
+            )
+        assert engine.total_fixes == 3  # a: 2, b: valid prefix of 1
+        assert engine.clock == 10.0
+        # Device b's recency reflects its consumed prefix: it is NOT
+        # spuriously idle-evicted by the next nearby batch...
+        engine.push_batch([("a", 30.0, 2.0, 0.0)])
+        assert engine.active_devices == 2
+        # ...but a genuinely idle device still ages out.
+        engine.push_batch([("a", 100.0, 3.0, 0.0)])
+        assert engine.active_devices == 1
+        assert engine.evictions == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            StreamEngine(_factory, max_devices=0)
+        with pytest.raises(ValueError):
+            StreamEngine(_factory, idle_timeout=0.0)
+
+
+class TestShardedStreamEngine:
+    def test_shard_of_is_stable_and_total(self):
+        assert shard_of("dev-0001", 4) == shard_of("dev-0001", 4)
+        assert {shard_of(f"dev-{i}", 3) for i in range(50)} <= {0, 1, 2}
+        assert shard_of(b"raw", 2) in (0, 1)
+        assert shard_of(42, 2) in (0, 1)
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_single_process_engine(self, fleet, workers):
+        ids, cols = fleet
+        factory = functools.partial(_fast_factory, 10.0)
+        single = StreamEngine(factory)
+        single.push_columns(ids, cols.ts, cols.xs, cols.ys)
+        expected = {d: v[0].key_points for d, v in single.finish_all().items()}
+
+        sharded = ShardedStreamEngine(factory, workers=workers)
+        try:
+            for batch in iter_fix_batches(ids, cols, 777):
+                sharded.push_columns(*batch)
+            results = sharded.finish_all()
+        finally:
+            sharded.close()
+        assert {d: v[0].key_points for d, v in results.items()} == expected
+
+    def test_push_batch_tuples(self, fleet):
+        ids, cols = fleet
+        factory = functools.partial(_fast_factory, 10.0)
+        with ShardedStreamEngine(factory, workers=2) as sharded:
+            n = sharded.push_batch(list(zip(ids, cols.ts, cols.xs, cols.ys)))
+            assert n == len(ids)
+            results = sharded.finish_all()
+        assert len(results) == len(set(ids))
+
+    def test_worker_error_surfaces_at_finish(self):
+        factory = functools.partial(_fast_factory, 10.0)
+        sharded = ShardedStreamEngine(factory, workers=2)
+        try:
+            sharded.push_batch([("a", 5.0, 0.0, 0.0), ("a", 1.0, 0.0, 0.0)])
+            with pytest.raises(RuntimeError, match="non-decreasing"):
+                sharded.finish_all()
+        finally:
+            sharded.close()
+
+    def test_dead_worker_surfaces_as_runtime_error(self):
+        """A worker killed mid-stream must not escape as a raw EOFError,
+        and the remaining processes must still be torn down."""
+        import os
+        import signal
+        import time
+
+        factory = functools.partial(_fast_factory, 10.0)
+        sharded = ShardedStreamEngine(factory, workers=2)
+        sharded.push_batch([("a", 0.0, 0.0, 0.0), ("b", 0.0, 1.0, 1.0)])
+        os.kill(sharded._procs[0].pid, signal.SIGKILL)
+        time.sleep(0.2)
+        with pytest.raises(RuntimeError, match="sharded ingestion failed"):
+            sharded.finish_all()
+        assert sharded._procs == [] and sharded._conns == []
+
+    def test_finish_twice_rejected(self):
+        factory = functools.partial(_fast_factory, 10.0)
+        sharded = ShardedStreamEngine(factory, workers=1)
+        sharded.finish_all()
+        with pytest.raises(RuntimeError):
+            sharded.finish_all()
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ShardedStreamEngine(functools.partial(_fast_factory, 10.0), workers=0)
+
+
+class TestEngineCLI:
+    def test_main_single_process(self, capsys):
+        from repro.engine.__main__ import main
+
+        assert main(["--devices", "5", "--fixes", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "fixes/s" in out
+        assert "200 fixes -> 5 trajectories" in out
+
+    def test_main_sharded(self, capsys):
+        from repro.engine.__main__ import main
+
+        assert main(["--devices", "5", "--fixes", "40", "--workers", "2"]) == 0
+        assert "trajectories" in capsys.readouterr().out
