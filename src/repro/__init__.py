@@ -18,8 +18,15 @@ Three layers, lowest first:
 
 ``repro.engine``
     The multi-stream fleet engine: multiplex thousands of device streams
-    over per-device compressors, with bounded-memory eviction policies and
-    an optional sharded multiprocessing mode.
+    over per-device compressors, with bounded-memory eviction policies,
+    an optional sharded multiprocessing mode, and the ``Sink`` protocol
+    every sealed stream is delivered through.
+
+``repro.storage``
+    Persistence and queries: a compact binary codec for compressed
+    trajectories, an append-only segmented store with crash-safe appends
+    and compaction, and error-aware spatio-temporal queries answered
+    directly over the compressed records (``python -m repro.storage``).
 
 ``repro.bench``
     The reproducible benchmark subsystem (``python -m repro.bench``):
@@ -29,7 +36,7 @@ Three layers, lowest first:
 The most common entry points are re-exported here.
 """
 
-from . import bench, compression, engine, geometry, model
+from . import bench, compression, engine, geometry, model, storage
 from .compression import (
     BQSCompressor,
     DeadReckoningCompressor,
@@ -41,7 +48,7 @@ from .compression import (
     evaluate_suite,
     synthetic_track,
 )
-from .engine import ShardedStreamEngine, StreamEngine
+from .engine import ListSink, ShardedStreamEngine, Sink, StreamEngine
 from .geometry import DistanceMetric
 from .model import (
     CompressedTrajectory,
@@ -51,6 +58,7 @@ from .model import (
     Trajectory,
     TrajectoryColumns,
 )
+from .storage import StoreSink, TrajectoryStore
 
 __all__ = [
     "BQSCompressor",
@@ -59,15 +67,19 @@ __all__ = [
     "DistanceMetric",
     "DouglasPeucker",
     "FastBQSCompressor",
+    "ListSink",
     "LocationPoint",
     "PlanePoint",
     "Segment",
     "ShardedStreamEngine",
+    "Sink",
+    "StoreSink",
     "StreamEngine",
     "StreamingCompressor",
     "TDTRCompressor",
     "Trajectory",
     "TrajectoryColumns",
+    "TrajectoryStore",
     "UniformSampler",
     "bench",
     "compression",
@@ -75,5 +87,6 @@ __all__ = [
     "evaluate_suite",
     "geometry",
     "model",
+    "storage",
     "synthetic_track",
 ]

@@ -37,6 +37,7 @@ from typing import Sequence
 from .compare import diff_benches, format_diff, load_bench_file
 from .fleet import run_fleet_bench
 from .harness import default_factories, run_bench
+from .storage import run_storage_bench
 from .workloads import WORKLOADS, make_workload
 
 __all__ = ["main"]
@@ -44,6 +45,8 @@ __all__ = ["main"]
 _SMOKE_POINTS = 2_000
 _SMOKE_FLEET_DEVICES = 25
 _SMOKE_FLEET_FIXES = 80
+_SMOKE_STORAGE_DEVICES = 15
+_SMOKE_STORAGE_FIXES = 60
 
 
 def _parse_baseline(pairs: Sequence[str]) -> dict:
@@ -89,6 +92,26 @@ def _format_fleet(records) -> str:
             f"{r.wall_seconds:>9.3f}{r.trajectories:>7}{r.key_points:>8}"
             f"  {r.key_digest}"
         )
+    return "\n".join(lines)
+
+
+def _format_storage(r) -> str:
+    lines = [
+        f"storage ({r.workload}, {r.points} points, "
+        f"{r.fleet_devices}x{r.fleet_fixes} fleet)",
+        "-" * 72,
+        f"codec: {r.key_points} keys -> {r.encoded_bytes} B "
+        f"({r.bytes_per_key_point:.2f} B/key, {r.bytes_per_raw_point:.4f} "
+        f"B/raw pt, {r.end_to_end_ratio:.0f}x vs {r.raw_gps_bytes} B raw GPS) "
+        f"digest {r.blob_digest}",
+        f"ingest: {r.ingest_fixes_per_sec:,.0f} fixes/s -> "
+        f"{r.store_bytes} B on disk",
+        f"query: window {r.time_query_seconds * 1e3:.2f} ms "
+        f"(brute {r.time_query_brute_seconds * 1e3:.2f} ms), "
+        f"range {r.range_query_seconds * 1e3:.2f} ms "
+        f"(brute {r.range_query_brute_seconds * 1e3:.2f} ms) "
+        f"digest {r.query_digest}",
+    ]
     return "\n".join(lines)
 
 
@@ -161,6 +184,11 @@ def main_run(argv: Sequence[str]) -> int:
         "--no-fleet",
         action="store_true",
         help="skip the multi-stream fleet benchmark",
+    )
+    parser.add_argument(
+        "--no-storage",
+        action="store_true",
+        help="skip the storage benchmark (codec density + query latency)",
     )
     parser.add_argument(
         "--fleet-devices",
@@ -257,9 +285,24 @@ def main_run(argv: Sequence[str]) -> int:
             progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
         )
 
+    storage_record = None
+    if not args.no_storage:
+        storage_record = run_storage_bench(
+            points=points_per_workload,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            fleet_devices=(
+                _SMOKE_STORAGE_DEVICES if args.smoke else args.fleet_devices
+            ),
+            fleet_fixes_per_device=(
+                _SMOKE_STORAGE_FIXES if args.smoke else args.fleet_fixes
+            ),
+            progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+        )
+
     out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
     document = {
-        "schema": 2,
+        "schema": 3,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -273,6 +316,9 @@ def main_run(argv: Sequence[str]) -> int:
         "baselines": baselines,
         "results": [r.to_json() for r in records],
         "fleet": [r.to_json() for r in fleet_records],
+        "storage": (
+            storage_record.to_json() if storage_record is not None else None
+        ),
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -282,6 +328,9 @@ def main_run(argv: Sequence[str]) -> int:
     if fleet_records:
         print()
         print(_format_fleet(fleet_records))
+    if storage_record is not None:
+        print()
+        print(_format_storage(storage_record))
     print(f"\nwrote {out_path}")
     return 0
 

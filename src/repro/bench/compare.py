@@ -127,6 +127,44 @@ def diff_benches(
                 "behaviour": bool(behaviour_reasons),
             }
         )
+
+    # Storage section (schema 3+): one record; the blob digest pins the
+    # codec's exact bytes, the query digest pins both query answers.
+    old_storage = old.get("storage")
+    new_storage = new.get("storage")
+    if old_storage and new_storage:
+        old_ips = float(old_storage["ingest_fixes_per_sec"])
+        new_ips = float(new_storage["ingest_fixes_per_sec"])
+        ratio = new_ips / old_ips if old_ips > 0.0 else float("inf")
+        timing_reasons = []
+        behaviour_reasons = []
+        if ratio < threshold:
+            timing_reasons.append(f"ingest throughput fell to {ratio:.2f}x")
+        comparable = (
+            old_storage["points"] == new_storage["points"]
+            and old_storage["fleet_devices"] == new_storage["fleet_devices"]
+            and old_storage["fleet_fixes"] == new_storage["fleet_fixes"]
+        )
+        if comparable:
+            if old_storage["blob_digest"] != new_storage["blob_digest"]:
+                behaviour_reasons.append(
+                    "codec output moved (blob digest differs)"
+                )
+            if old_storage["query_digest"] != new_storage["query_digest"]:
+                behaviour_reasons.append(
+                    "query results moved (digest differs)"
+                )
+        add_row(
+            {
+                "workload": "storage",
+                "algorithm": "codec+query",
+                "old_points_per_sec": old_ips,
+                "new_points_per_sec": new_ips,
+                "ratio": ratio,
+                "reasons": timing_reasons + behaviour_reasons,
+                "behaviour": bool(behaviour_reasons),
+            }
+        )
     return rows, flagged
 
 

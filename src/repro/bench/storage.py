@@ -1,0 +1,249 @@
+"""Storage benchmark: codec density, ingest throughput, query latency.
+
+Two measured stages, both digest-audited so the CI smoke run catches
+behavioural drift in the storage layer the same way it catches key-point
+drift in the compressors:
+
+**Codec stage**
+    Compress the random-walk workload with BQS, encode the result, and
+    record the end-to-end density: bytes on disk per *original* GPS
+    point (the honest figure — raw GPS → BQS key points → codec bytes)
+    and per stored key point, plus the ratio against the paper's
+    12-byte-per-sample storage model.  The blob's SHA-256 is the
+    behaviour digest: any codec or compressor change that moves a byte
+    shows up in ``compare``.
+
+**Store/query stage**
+    Ingest a seeded fleet through ``StreamEngine -> StoreSink`` into a
+    temporary store, then time a time-window query and an ε-expanded
+    range query over the compressed records against a brute-force scan
+    of the raw in-memory fixes answering the same questions.  Results
+    are digest-checked between the two (the exact-mode guarantee), and
+    the digest is recorded for ``compare``.
+
+Query walls are best-of-N like every other number in this subsystem;
+the brute-force walls give the "vs scanning everything raw" context the
+BENCHMARKS.md storage section reports.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import math
+import shutil
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+from ..compression.bqs import BQSCompressor
+from ..engine.core import StreamEngine
+from ..engine.simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+from ..model.columns import TrajectoryColumns
+from ..model.trajectory import GPS_SAMPLE_BYTES
+from ..storage.codec import decode_trajectory, encode_trajectory
+from ..storage.query import range_query, time_window_query
+from ..storage.store import StoreSink, TrajectoryStore
+from .harness import BenchError
+from .workloads import make_workload
+
+__all__ = ["StorageRecord", "run_storage_bench"]
+
+
+@dataclass(frozen=True)
+class StorageRecord:
+    """The storage layer's measurements for one seeded configuration."""
+
+    workload: str  #: codec-stage workload name
+    points: int  #: raw points behind the codec stage
+    epsilon: float
+    key_points: int  #: BQS key points the codec stage stored
+    encoded_bytes: int
+    bytes_per_key_point: float
+    bytes_per_raw_point: float  #: encoded bytes / original GPS points
+    raw_gps_bytes: int  #: points * GPS_SAMPLE_BYTES (paper storage model)
+    end_to_end_ratio: float  #: raw_gps_bytes / encoded_bytes (higher = better)
+    encode_seconds: float
+    decode_seconds: float
+    blob_digest: str  #: sha256[:16] of the encoded blob (behaviour pin)
+    fleet_devices: int
+    fleet_fixes: int
+    ingest_fixes_per_sec: float
+    store_bytes: int
+    time_query_seconds: float  #: best-of-N store time-window query wall
+    time_query_brute_seconds: float  #: brute scan over raw fixes
+    range_query_seconds: float  #: best-of-N store ε-expanded range wall
+    range_query_brute_seconds: float
+    query_digest: str  #: sha256[:16] over both queries' device sets
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+            result = out
+    return best, result
+
+
+def run_storage_bench(
+    points: int = 100_000,
+    epsilon: float = 10.0,
+    seed: int = 7,
+    fleet_devices: int = 50,
+    fleet_fixes_per_device: int = 200,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> StorageRecord:
+    """Run both storage stages; returns the combined record."""
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    # -- codec stage ---------------------------------------------------------
+    workload = "random_walk"
+    note(f"storage/codec ({workload}, {points} points)")
+    track = make_workload(workload, points, seed)
+    compressed = BQSCompressor(epsilon).compress(track)
+
+    encode_wall, blob = _best_of(
+        lambda: encode_trajectory(compressed), repeats
+    )
+    decode_wall, decoded = _best_of(lambda: decode_trajectory(blob), repeats)
+    if len(decoded.columns) != len(compressed.key_points):
+        raise BenchError(
+            f"storage/codec: decode returned {len(decoded.columns)} key "
+            f"points, expected {len(compressed.key_points)}"
+        )
+    if encode_trajectory(decoded.to_trajectory()) != blob:
+        raise BenchError(
+            "storage/codec: encode(decode(blob)) is not byte-identical"
+        )
+    n_keys = len(compressed.key_points)
+    raw_bytes = points * GPS_SAMPLE_BYTES
+    blob_digest = hashlib.sha256(blob).hexdigest()[:16]
+
+    # -- store/query stage ---------------------------------------------------
+    note(
+        f"storage/fleet ({fleet_devices} devices x "
+        f"{fleet_fixes_per_device} fixes)"
+    )
+    ids, cols = fleet_fixes(fleet_devices, fleet_fixes_per_device, seed=seed)
+    total_fixes = len(ids)
+    factory = functools.partial(bqs_fleet_factory, epsilon)
+
+    directory = tempfile.mkdtemp(prefix="repro-storage-bench-")
+    try:
+        ingest_wall = math.inf
+        for _ in range(repeats):
+            shutil.rmtree(directory, ignore_errors=True)
+            sink = StoreSink(directory)
+            engine = StreamEngine(factory, collect=False, sink=sink)
+            t0 = time.perf_counter()
+            for batch in iter_fix_batches(ids, cols, 4096):
+                engine.push_columns(*batch)
+            engine.finish_all()
+            sink.close()
+            ingest_wall = min(ingest_wall, time.perf_counter() - t0)
+
+        store = TrajectoryStore(directory)
+        try:
+            store_bytes = store.total_bytes()
+            span = store.time_span()
+            box = store.bbox()
+            # Window: the middle third of the stream; rectangle: the
+            # middle ninth of the covered plane — both derived from the
+            # data so the queries stay meaningful at any scale.
+            w0 = span[0] + (span[1] - span[0]) / 3.0
+            w1 = span[0] + 2.0 * (span[1] - span[0]) / 3.0
+            rect = (
+                box[0] + (box[2] - box[0]) / 3.0,
+                box[1] + (box[3] - box[1]) / 3.0,
+                box[0] + 2.0 * (box[2] - box[0]) / 3.0,
+                box[1] + 2.0 * (box[3] - box[1]) / 3.0,
+            )
+
+            tq_wall, tq_matches = _best_of(
+                lambda: time_window_query(store, w0, w1), repeats
+            )
+            rq_wall, rq_matches = _best_of(
+                lambda: range_query(store, rect, mode="exact"), repeats
+            )
+            tq_devices = sorted({m.device_id for m in tq_matches})
+            rq_devices = sorted({m.device_id for m in rq_matches})
+        finally:
+            store.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    # Brute force over the raw fixes, answering the same questions: the
+    # time window on per-device spans (what compression preserves), the
+    # rectangle on raw containment.
+    def brute_time():
+        spans = {}
+        for d, t in zip(ids, cols.ts):
+            lo, hi = spans.get(d, (math.inf, -math.inf))
+            spans[d] = (t if t < lo else lo, t if t > hi else hi)
+        return sorted(d for d, (lo, hi) in spans.items() if lo <= w1 and hi >= w0)
+
+    def brute_range():
+        x0, y0, x1, y1 = rect
+        inside = set()
+        for d, x, y in zip(ids, cols.xs, cols.ys):
+            if d not in inside and x0 <= x <= x1 and y0 <= y <= y1:
+                inside.add(d)
+        return sorted(inside)
+
+    tq_brute_wall, tq_brute = _best_of(brute_time, repeats)
+    rq_brute_wall, rq_brute = _best_of(brute_range, repeats)
+
+    if tq_devices != tq_brute:
+        raise BenchError(
+            f"storage/query: time-window disagrees with brute force "
+            f"({len(tq_devices)} vs {len(tq_brute)} devices)"
+        )
+    missing = set(rq_brute) - set(rq_devices)
+    if missing:
+        raise BenchError(
+            f"storage/query: range query missed devices brute force found "
+            f"(false negatives: {sorted(missing)[:5]})"
+        )
+
+    digest = hashlib.sha256(
+        ("|".join(tq_devices) + "##" + "|".join(rq_devices)).encode()
+    ).hexdigest()[:16]
+
+    return StorageRecord(
+        workload=workload,
+        points=points,
+        epsilon=epsilon,
+        key_points=n_keys,
+        encoded_bytes=len(blob),
+        bytes_per_key_point=len(blob) / n_keys if n_keys else 0.0,
+        bytes_per_raw_point=len(blob) / points if points else 0.0,
+        raw_gps_bytes=raw_bytes,
+        end_to_end_ratio=raw_bytes / len(blob) if blob else 0.0,
+        encode_seconds=encode_wall,
+        decode_seconds=decode_wall,
+        blob_digest=blob_digest,
+        fleet_devices=fleet_devices,
+        fleet_fixes=fleet_fixes_per_device,
+        ingest_fixes_per_sec=(
+            total_fixes / ingest_wall if ingest_wall > 0.0 else 0.0
+        ),
+        store_bytes=store_bytes,
+        time_query_seconds=tq_wall,
+        time_query_brute_seconds=tq_brute_wall,
+        range_query_seconds=rq_wall,
+        range_query_brute_seconds=rq_brute_wall,
+        query_digest=digest,
+    )

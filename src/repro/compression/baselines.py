@@ -48,7 +48,7 @@ from itertools import repeat
 from typing import Sequence
 
 from ..geometry.metrics import DistanceMetric, deviation as metric_deviation
-from ..model.point import PlanePoint
+from ..model.point import PlanePoint, plane_points_from_flat
 from ..model.reconstruction import synchronized_deviation_xyt
 from .base import CompressorBase, Decision
 
@@ -177,6 +177,11 @@ class DeadReckoningCompressor(CompressorBase):
         super().__init__(epsilon, metric)
         self.safety_factor = float(safety_factor)
         self._threshold = epsilon * safety_factor
+        # Both ingest paths compare squared distances (saves a hypot call
+        # per fix); sharing the exact same expression keeps push() and
+        # push_xyt() bit-identical even for fixes within an ulp of the
+        # threshold.
+        self._threshold_sq = self._threshold * self._threshold
         self._reset()
 
     def _reset(self) -> None:
@@ -203,10 +208,9 @@ class DeadReckoningCompressor(CompressorBase):
             return [], Decision.ACCEPT
         dt = point.t - self._key.t
         vx, vy = self._velocity
-        predicted_x = self._key.x + vx * dt
-        predicted_y = self._key.y + vy * dt
-        error = math.hypot(point.x - predicted_x, point.y - predicted_y)
-        if error <= self._threshold:
+        dx = point.x - (self._key.x + vx * dt)
+        dy = point.y - (self._key.y + vy * dt)
+        if dx * dx + dy * dy <= self._threshold_sq:
             self._prev = point
             return [], Decision.THRESHOLD
         prev = self._prev
@@ -217,23 +221,56 @@ class DeadReckoningCompressor(CompressorBase):
         return [prev], Decision.THRESHOLD
 
     def _ingest_xyt(self, ts, xs, ys) -> int:
-        """Columnar ingest: the prediction test runs on bare floats and the
-        previous fix is materialized only when a breach commits it."""
-        emit = self._emit
-        hyp = math.hypot
-        threshold = self._threshold
-        key_obj = self._key  # always in sync (changes only on init/commit)
-        kx = ky = kt = 0.0
+        """Columnar ingest: the prediction test runs on bare floats and key
+        points are *batch-materialized*.
+
+        Dead reckoning commits a key point for a large fraction of its fixes
+        (half the stream at vehicle-like workloads), so a per-breach
+        ``PlanePoint`` construction plus an ``_emit`` call used to dominate
+        the columnar loop and made it slower than the object path, which
+        gets its point objects for free.  Breaches therefore only append
+        four floats to a flat pending list; the whole batch of committed
+        key points is materialized once, in the ``finally`` block, through
+        one :func:`~repro.model.point.plane_points_from_flat` sweep
+        (``__new__`` + slot writes behind a batch finiteness screen).
+        ``_emit``'s consecutive-duplicate drop is replicated on the raw
+        floats before a key is appended, so key points, stats and counts
+        stay bit-identical to a ``push`` loop.
+        """
+        # The same squared-distance predicate _ingest evaluates — shared
+        # expression, so the paths agree on every fix bit for bit.
+        threshold_sq = self._threshold_sq
+        key_obj = self._key  # rematerialized at batch end if a breach moved it
+        kx = ky = kt = kz = 0.0
         if key_obj is not None:
-            kx, ky, kt = key_obj.x, key_obj.y, key_obj.t
+            kx, ky, kt, kz = key_obj.x, key_obj.y, key_obj.t, key_obj.z
         velocity = self._velocity
+        has_vel = velocity is not None
+        vx = vy = 0.0
+        if has_vel:
+            vx, vy = velocity
         prev_obj = self._prev  # non-None means in sync with the floats
         px = py = pt = pz = 0.0
         if prev_obj is not None:
             px, py, pt, pz = prev_obj.x, prev_obj.y, prev_obj.t, prev_obj.z
+        # Pending committed key points, interleaved ``x, y, t, z`` in one
+        # flat list; materialized in one sweep at batch end.  Duplicate
+        # suppression (what _emit does) runs here on floats, seeded from
+        # the last already-emitted key point.
+        pending: list = []
+        push_pending = pending.extend
+        key_points = self._key_points
+        if key_points:
+            tail = key_points[-1]
+            ex, ey, et = tail.x, tail.y, tail.t
+            have_tail = True
+        else:
+            ex = ey = et = 0.0
+            have_tail = False
+        started = key_obj is not None
         last_t = self._last_t
         count = start = self._count
-        init_n = accept_n = threshold_n = 0
+        init_n = accept_n = 0
         try:
             for t, x, y in zip(ts, xs, ys):
                 if not (t >= last_t):
@@ -243,69 +280,87 @@ class DeadReckoningCompressor(CompressorBase):
                     )
                 last_t = t
                 count += 1
-                if key_obj is None:
-                    point = PlanePoint(x, y, t)
-                    key_obj = point
-                    kx, ky, kt = x, y, t
-                    velocity = None
-                    prev_obj = point
+                if has_vel:  # the steady-state path, checked first
+                    dt = t - kt
+                    dx = x - (kx + vx * dt)
+                    dy = y - (ky + vy * dt)
+                    if dx * dx + dy * dy <= threshold_sq:
+                        px = x
+                        py = y
+                        pt = t
+                        pz = 0.0
+                        prev_obj = None
+                        continue
+                    # Breach: the previous fix becomes a key point and the
+                    # new prediction origin.
+                    if not (have_tail and ex == px and ey == py and et == pt):
+                        push_pending((px, py, pt, pz))
+                        ex, ey, et = px, py, pt
+                        have_tail = True
+                    key_obj = prev_obj  # None unless prev predates the batch
+                    kx, ky, kt, kz = px, py, pt, pz
+                    dt = t - pt
+                    if dt > 0.0:
+                        vx = (x - px) / dt
+                        vy = (y - py) / dt
+                    else:
+                        vx = 0.0
+                        vy = 0.0
+                    px = x
+                    py = y
+                    pt = t
+                    pz = 0.0
+                    prev_obj = None
+                    continue
+                if not started:
+                    started = True
+                    key_obj = None
+                    kx, ky, kt, kz = x, y, t, 0.0
                     px, py, pt, pz = x, y, t, 0.0
-                    emit(point)
+                    prev_obj = None
+                    if not (have_tail and ex == x and ey == y and et == t):
+                        push_pending((x, y, t, 0.0))
+                        ex, ey, et = x, y, t
+                        have_tail = True
                     init_n += 1
                     continue
-                if velocity is None:
-                    dt = t - kt
-                    if dt > 0.0:
-                        velocity = ((x - kx) / dt, (y - ky) / dt)
-                    else:
-                        velocity = (0.0, 0.0)
-                    px, py, pt, pz = x, y, t, 0.0
-                    prev_obj = None
-                    accept_n += 1
-                    continue
-                threshold_n += 1
+                # Second point of a segment: estimate the velocity.
                 dt = t - kt
-                vx, vy = velocity
-                error = hyp(x - (kx + vx * dt), y - (ky + vy * dt))
-                if error <= threshold:
-                    px, py, pt, pz = x, y, t, 0.0
-                    prev_obj = None
-                    continue
-                # Breach: the previous fix becomes a key point and the new
-                # prediction origin.
-                key = (
-                    prev_obj
-                    if prev_obj is not None
-                    else PlanePoint(px, py, pt, pz)
-                )
-                key_obj = key
-                kx, ky, kt = px, py, pt
-                dt = t - pt
                 if dt > 0.0:
-                    velocity = ((x - px) / dt, (y - py) / dt)
+                    vx = (x - kx) / dt
+                    vy = (y - ky) / dt
                 else:
-                    velocity = (0.0, 0.0)
+                    vx = 0.0
+                    vy = 0.0
+                has_vel = True
                 px, py, pt, pz = x, y, t, 0.0
                 prev_obj = None
-                emit(key)
+                accept_n += 1
         finally:
             self._last_t = last_t
             self._count = count
-            self._key = key_obj
-            self._velocity = velocity
-            if key_obj is None:
-                self._prev = None
+            if pending:
+                key_points.extend(plane_points_from_flat(pending))
+            if not started:
+                self._key = None
             else:
+                self._key = (
+                    key_obj
+                    if key_obj is not None
+                    else PlanePoint(kx, ky, kt, kz)
+                )
                 self._prev = (
                     prev_obj
                     if prev_obj is not None
                     else PlanePoint(px, py, pt, pz)
                 )
+            self._velocity = (vx, vy) if has_vel else None
             stats = self._stats
             if init_n:
                 stats[Decision.INIT] = stats.get(Decision.INIT, 0) + init_n
             if accept_n:
                 stats[Decision.ACCEPT] = stats.get(Decision.ACCEPT, 0) + accept_n
+            threshold_n = (count - start) - init_n - accept_n
             if threshold_n:
                 stats[Decision.THRESHOLD] = (
                     stats.get(Decision.THRESHOLD, 0) + threshold_n

@@ -23,11 +23,15 @@ interface:
 from .core import DeviceId, Fix, StreamEngine
 from .sharded import ShardedStreamEngine, shard_of
 from .simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+from .sinks import CallbackSink, ListSink, Sink
 
 __all__ = [
+    "CallbackSink",
     "DeviceId",
     "Fix",
+    "ListSink",
     "ShardedStreamEngine",
+    "Sink",
     "StreamEngine",
     "bqs_fleet_factory",
     "fleet_fixes",

@@ -19,11 +19,16 @@ the engine's footprint bounded no matter how many devices come and go:
     the next batch boundary.
 
 Both policies bound the *open-stream* state (compressors and per-device
-bookkeeping).  Sealed trajectories are a separate ledger: with the default
-``collect=True`` they accumulate in :attr:`StreamEngine.results` until the
-caller drains them, so a long-lived engine with heavy device churn should
-ship results downstream via ``on_finish`` and pass ``collect=False`` —
-then the engine holds no completed state at all.
+bookkeeping).  Sealed trajectories flow through the :class:`~repro.engine.
+sinks.Sink` protocol the moment a stream is sealed — explicitly or by a
+policy — so an eviction can never silently drop a device's output: the
+default ``collect=True`` routes them to an internal
+:class:`~repro.engine.sinks.ListSink` bound to :attr:`StreamEngine.
+results`, ``on_finish`` wraps a plain callback, and ``sink=`` accepts any
+sink (e.g. :class:`repro.storage.store.StoreSink`, which streams a fleet
+run straight to disk).  A long-lived engine with heavy device churn should
+ship results through a sink and pass ``collect=False`` — then the engine
+holds no completed state at all.
 
 Because batches are regrouped per device in arrival order, the engine's
 output for every device is **identical** to running that device's fixes
@@ -40,6 +45,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from ..compression.base import StreamingCompressor
 from ..model.trajectory import CompressedTrajectory
+from .sinks import CallbackSink, ListSink, Sink
 
 __all__ = ["StreamEngine", "DeviceId", "Fix"]
 
@@ -67,10 +73,15 @@ class StreamEngine:
         idle_timeout: seconds of stream time after which an inactive device
             is finished and evicted; ``None`` to keep idle streams open.
         on_finish: callback ``(device_id, trajectory)`` invoked whenever a
-            stream is sealed (explicitly or by eviction).
-        collect: keep sealed trajectories in :attr:`results`.  Turn off
-            when ``on_finish`` ships them elsewhere and the engine should
-            hold no completed state at all.
+            stream is sealed (explicitly or by eviction); sugar for a
+            :class:`~repro.engine.sinks.CallbackSink`.
+        collect: keep sealed trajectories in :attr:`results` (an internal
+            :class:`~repro.engine.sinks.ListSink`).  Turn off when a sink
+            ships them elsewhere and the engine should hold no completed
+            state at all.
+        sink: any :class:`~repro.engine.sinks.Sink`; receives every sealed
+            trajectory, eviction included.  The engine never closes it —
+            its lifetime belongs to the caller.
     """
 
     def __init__(
@@ -81,6 +92,7 @@ class StreamEngine:
         idle_timeout: float | None = None,
         on_finish: Callable[[DeviceId, CompressedTrajectory], None] | None = None,
         collect: bool = True,
+        sink: Sink | None = None,
     ) -> None:
         if max_devices is not None and max_devices < 1:
             raise ValueError(f"max_devices must be >= 1, got {max_devices!r}")
@@ -89,14 +101,23 @@ class StreamEngine:
         self._factory = compressor_factory
         self._max_devices = max_devices
         self._idle_timeout = idle_timeout
-        self._on_finish = on_finish
-        self._collect = collect
         #: Open streams; dict order doubles as the LRU order (least
         #: recently *updated* first — batches re-insert on update).
         self._devices: Dict[DeviceId, _DeviceState] = {}
         #: Sealed trajectories per device (a device evicted and reopened
         #: accumulates one entry per stream), when ``collect`` is on.
         self.results: Dict[DeviceId, List[CompressedTrajectory]] = {}
+        #: Every sealed stream is emitted to each of these, in order:
+        #: collect ledger first, then the historical callback, then the
+        #: caller's sink.
+        sinks: List[Sink] = []
+        if collect:
+            sinks.append(ListSink(self.results))
+        if on_finish is not None:
+            sinks.append(CallbackSink(on_finish))
+        if sink is not None:
+            sinks.append(sink)
+        self._sinks: tuple[Sink, ...] = tuple(sinks)
         self._clock = -float("inf")
         self._total_fixes = 0
         self._sealed = 0
@@ -267,10 +288,8 @@ class StreamEngine:
         self._sealed += 1
         if evicted:
             self._evicted += 1
-        if self._collect:
-            self.results.setdefault(device_id, []).append(trajectory)
-        if self._on_finish is not None:
-            self._on_finish(device_id, trajectory)
+        for sink in self._sinks:
+            sink.emit(device_id, trajectory)
         return trajectory
 
     def finish_device(self, device_id: DeviceId) -> CompressedTrajectory:

@@ -43,15 +43,28 @@ def shard_of(device_id: DeviceId, workers: int) -> int:
     return zlib.crc32(payload) % workers
 
 
-def _worker_main(conn, compressor_factory, engine_kwargs) -> None:
+def _worker_main(conn, compressor_factory, engine_kwargs, sink_factory, shard) -> None:
     """Worker loop: apply columnar pushes, answer ``finish`` with results.
 
     On an ingestion error the worker reports once, then keeps draining
     messages (discarding further pushes) so the parent never blocks on a
     full pipe; the error is re-raised parent-side at ``finish_all``.
+
+    When a ``sink_factory`` is configured, the worker owns its shard's
+    sink: built here (sinks — a store handle, a socket — generally cannot
+    cross a process boundary, but a factory can), fed every sealed stream
+    through the engine, and closed after ``finish`` so buffered output is
+    durable before the parent sees the results.
     """
-    engine = StreamEngine(compressor_factory, **engine_kwargs)
     failure: str | None = None
+    sink = None
+    try:
+        if sink_factory is not None:
+            sink = sink_factory(shard)
+        engine = StreamEngine(compressor_factory, sink=sink, **engine_kwargs)
+    except Exception as exc:
+        failure = f"{type(exc).__name__}: {exc}"
+        engine = None
     try:
         while True:
             message = conn.recv()
@@ -65,10 +78,18 @@ def _worker_main(conn, compressor_factory, engine_kwargs) -> None:
                     except Exception as exc:  # reported, not fatal to the pipe
                         failure = f"{type(exc).__name__}: {exc}"
             elif tag == "finish":
+                if failure is None:
+                    try:
+                        results = engine.finish_all()
+                        if sink is not None:
+                            sink.close()
+                            sink = None
+                    except Exception as exc:
+                        failure = f"{type(exc).__name__}: {exc}"
                 if failure is not None:
                     conn.send(("error", failure))
                 else:
-                    conn.send(("ok", engine.finish_all()))
+                    conn.send(("ok", results))
                 return
             else:
                 conn.send(("error", f"unknown message tag {tag!r}"))
@@ -76,6 +97,11 @@ def _worker_main(conn, compressor_factory, engine_kwargs) -> None:
     except EOFError:
         pass
     finally:
+        if sink is not None:
+            try:
+                sink.close()
+            except Exception:
+                pass
         conn.close()
 
 
@@ -84,7 +110,14 @@ class ShardedStreamEngine:
 
     Accepts the same batch shapes as :class:`StreamEngine` and produces the
     same results; ``max_devices`` / ``idle_timeout`` policies apply *per
-    shard*.  One behavioural difference: this engine is one-shot — its
+    shard*.  Sealed streams can flow to per-shard sinks: ``sink_factory``
+    (picklable, called as ``sink_factory(shard_index)`` inside each worker)
+    builds one :class:`~repro.engine.sinks.Sink` per worker — e.g. one
+    :class:`~repro.storage.store.StoreSink` over a per-shard store
+    directory, since the store is single-writer.  With ``collect=False``
+    the workers retain no sealed state and :meth:`finish_all` merges empty
+    ledgers — the sinks are then the only output path.  One behavioural
+    difference from the in-process engine: this engine is one-shot — its
     workers exit at :meth:`finish_all`, so pushing afterwards raises
     ``RuntimeError`` (the in-process engine treats ``finish_all`` as a
     checkpoint and keeps accepting batches).  Use as a context manager, or
@@ -98,6 +131,8 @@ class ShardedStreamEngine:
         *,
         max_devices: int | None = None,
         idle_timeout: float | None = None,
+        collect: bool = True,
+        sink_factory: Callable[[int], object] | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
     ) -> None:
         if workers < 1:
@@ -106,17 +141,24 @@ class ShardedStreamEngine:
         engine_kwargs = {
             "max_devices": max_devices,
             "idle_timeout": idle_timeout,
+            "collect": collect,
         }
         self.workers = workers
         self._conns = []
         self._procs = []
         self._finished = False
         try:
-            for _ in range(workers):
+            for shard in range(workers):
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, compressor_factory, engine_kwargs),
+                    args=(
+                        child_conn,
+                        compressor_factory,
+                        engine_kwargs,
+                        sink_factory,
+                        shard,
+                    ),
                     daemon=True,
                 )
                 proc.start()

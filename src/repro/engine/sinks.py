@@ -1,0 +1,105 @@
+"""Sinks: where sealed trajectories go when a stream finishes.
+
+The engine seals a device stream for three reasons — an explicit
+``finish_device`` / ``finish_all``, the LRU ``max_devices`` cap, or the
+``idle_timeout`` policy — and every sealed trajectory flows through the
+same :class:`Sink` interface regardless of the reason.  That closes the
+loss window the callback-or-collect design had: an engine configured with
+``collect=False`` and no callback would silently drop trajectories sealed
+by an eviction policy, because nothing was listening when the policy
+fired.  With sinks, eviction *is* delivery.
+
+``Sink`` (protocol)
+    ``emit(device_id, trajectory)`` receives every sealed stream the
+    moment it is sealed; ``close()`` flushes/releases whatever the sink
+    holds.  The engine never calls ``close()`` — sink lifetime belongs to
+    whoever created it (the sharded engine's workers are the exception:
+    they own their per-shard sinks and close them at ``finish``).
+
+``ListSink``
+    The collect-in-memory behaviour as a sink: trajectories accumulate in
+    ``results`` (``device_id -> [CompressedTrajectory]`` in completion
+    order).  :class:`~repro.engine.core.StreamEngine` uses one internally
+    when ``collect=True``, bound to its ``results`` dict.
+
+``CallbackSink``
+    Adapts a plain ``fn(device_id, trajectory)`` callable (the historical
+    ``on_finish=`` contract) to the sink interface.
+
+``repro.storage`` ships :class:`~repro.storage.store.StoreSink`, which
+encodes each trajectory with the binary codec and appends it to a
+:class:`~repro.storage.store.TrajectoryStore` — a fleet run streaming
+straight to disk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Protocol, runtime_checkable
+
+from ..model.trajectory import CompressedTrajectory
+
+__all__ = ["Sink", "ListSink", "CallbackSink"]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Receives every trajectory the engine seals, eviction included."""
+
+    def emit(
+        self, device_id: Hashable, trajectory: CompressedTrajectory
+    ) -> None:
+        """Deliver one sealed stream (called in completion order)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release; no ``emit`` may follow."""
+        ...
+
+
+class ListSink:
+    """Collect sealed trajectories in memory, per device.
+
+    ``results`` maps each device id to its sealed trajectories in
+    completion order (a device evicted and reopened accumulates one entry
+    per stream).  Pass an existing dict to collect into it — the engine
+    binds its public ``results`` attribute this way.
+    """
+
+    __slots__ = ("results",)
+
+    def __init__(
+        self,
+        results: Dict[Hashable, List[CompressedTrajectory]] | None = None,
+    ) -> None:
+        self.results = {} if results is None else results
+
+    def emit(
+        self, device_id: Hashable, trajectory: CompressedTrajectory
+    ) -> None:
+        self.results.setdefault(device_id, []).append(trajectory)
+
+    def close(self) -> None:  # nothing held outside the dict
+        pass
+
+    def __len__(self) -> int:
+        """Total sealed trajectories across all devices."""
+        return sum(len(v) for v in self.results.values())
+
+
+class CallbackSink:
+    """Adapt a ``fn(device_id, trajectory)`` callable to the sink interface."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(
+        self, fn: Callable[[Hashable, CompressedTrajectory], None]
+    ) -> None:
+        self._fn = fn
+
+    def emit(
+        self, device_id: Hashable, trajectory: CompressedTrajectory
+    ) -> None:
+        self._fn(device_id, trajectory)
+
+    def close(self) -> None:
+        pass

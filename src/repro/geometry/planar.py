@@ -31,6 +31,9 @@ __all__ = [
     "point_line_distance",
     "point_line_distance_origin",
     "point_segment_distance",
+    "segments_intersect",
+    "segment_segment_distance",
+    "segment_rect_distance",
     "max_deviation_to_line",
     "max_deviation_to_segment",
     "convex_hull",
@@ -133,6 +136,82 @@ def point_segment_distance(p: Vec2, a: Vec2, b: Vec2) -> float:
         return math.hypot(p[0] - b[0], p[1] - b[1])
     proj = (a[0] + t * ab[0], a[1] + t * ab[1])
     return math.hypot(p[0] - proj[0], p[1] - proj[1])
+
+
+def segments_intersect(a: Vec2, b: Vec2, c: Vec2, d: Vec2) -> bool:
+    """Whether closed segments ``ab`` and ``cd`` share a point.
+
+    The standard orientation test, with collinear overlap handled via
+    bounding-interval checks — exact for the query layer's crossing tests
+    because every orientation is a sign of a cross product.
+    """
+    d1 = cross((b[0] - a[0], b[1] - a[1]), (c[0] - a[0], c[1] - a[1]))
+    d2 = cross((b[0] - a[0], b[1] - a[1]), (d[0] - a[0], d[1] - a[1]))
+    d3 = cross((d[0] - c[0], d[1] - c[1]), (a[0] - c[0], a[1] - c[1]))
+    d4 = cross((d[0] - c[0], d[1] - c[1]), (b[0] - c[0], b[1] - c[1]))
+    if ((d1 > 0) != (d2 > 0) or d1 == 0 or d2 == 0) and (
+        (d3 > 0) != (d4 > 0) or d3 == 0 or d4 == 0
+    ):
+        # Signs straddle (or touch) on both segments; rule out the
+        # collinear-but-disjoint case with interval overlap.
+        if d1 == 0 and d2 == 0 and d3 == 0 and d4 == 0:
+            return (
+                min(a[0], b[0]) <= max(c[0], d[0])
+                and min(c[0], d[0]) <= max(a[0], b[0])
+                and min(a[1], b[1]) <= max(c[1], d[1])
+                and min(c[1], d[1]) <= max(a[1], b[1])
+            )
+        return True
+    return False
+
+
+def segment_segment_distance(a: Vec2, b: Vec2, c: Vec2, d: Vec2) -> float:
+    """Minimum distance between closed segments ``ab`` and ``cd``.
+
+    Zero when they intersect; otherwise the minimum is attained at an
+    endpoint of one segment against the other, so four point-segment
+    distances cover it.
+    """
+    if segments_intersect(a, b, c, d):
+        return 0.0
+    return min(
+        point_segment_distance(a, c, d),
+        point_segment_distance(b, c, d),
+        point_segment_distance(c, a, b),
+        point_segment_distance(d, a, b),
+    )
+
+
+def segment_rect_distance(
+    a: Vec2,
+    b: Vec2,
+    x_min: float,
+    y_min: float,
+    x_max: float,
+    y_max: float,
+) -> float:
+    """Minimum distance from closed segment ``ab`` to an axis-aligned
+    rectangle (zero when they touch or the segment enters it).
+
+    The workhorse of the ε-expanded range queries: a stored chord is
+    within ε of a query rectangle iff this distance is ≤ ε.
+    """
+    # Inside (either endpoint) means contact; otherwise the minimum is
+    # against one of the four rectangle edges.
+    if x_min <= a[0] <= x_max and y_min <= a[1] <= y_max:
+        return 0.0
+    if x_min <= b[0] <= x_max and y_min <= b[1] <= y_max:
+        return 0.0
+    c00 = (x_min, y_min)
+    c10 = (x_max, y_min)
+    c11 = (x_max, y_max)
+    c01 = (x_min, y_max)
+    return min(
+        segment_segment_distance(a, b, c00, c10),
+        segment_segment_distance(a, b, c10, c11),
+        segment_segment_distance(a, b, c11, c01),
+        segment_segment_distance(a, b, c01, c00),
+    )
 
 
 def max_deviation_to_line(

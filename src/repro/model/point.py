@@ -28,6 +28,7 @@ __all__ = [
     "PlanePoint",
     "EARTH_RADIUS_M",
     "haversine_m",
+    "plane_points_from_flat",
 ]
 
 #: Mean Earth radius in metres (IUGG value), used by the haversine helper.
@@ -112,6 +113,49 @@ class PlanePoint:
     def translated(self, dx: float, dy: float, dz: float = 0.0) -> "PlanePoint":
         """A copy shifted by ``(dx, dy, dz)``; the timestamp is preserved."""
         return PlanePoint(self.x + dx, self.y + dy, self.t, self.z + dz)
+
+
+# Bulk materialization support: __new__ plus the raw slot descriptors skip
+# the dataclass __init__/__post_init__ frames, which dominate the cost of
+# building tens of thousands of points in the columnar hot paths.
+_PLANE_POINT_NEW = PlanePoint.__new__
+_SET_X = PlanePoint.x.__set__
+_SET_Y = PlanePoint.y.__set__
+_SET_T = PlanePoint.t.__set__
+_SET_Z = PlanePoint.z.__set__
+
+
+def _trusted_plane_point(x: float, y: float, t: float, z: float) -> PlanePoint:
+    """Construct a :class:`PlanePoint` without finiteness validation."""
+    p = _PLANE_POINT_NEW(PlanePoint)
+    _SET_X(p, x)
+    _SET_Y(p, y)
+    _SET_T(p, t)
+    _SET_Z(p, z)
+    return p
+
+
+def plane_points_from_flat(flat: Sequence[float]) -> list[PlanePoint]:
+    """Materialize interleaved ``x, y, t, z`` floats as :class:`PlanePoint`\\ s.
+
+    The bulk twin of calling ``PlanePoint(x, y, t, z)`` per quadruple, for
+    columnar hot paths that commit key points as flat floats.  Validation is
+    screened with a single C-level ``sum`` over the batch — a non-finite
+    element can never sum back to a finite total, so a finite total proves
+    every element finite and the fast constructor (``__new__`` plus direct
+    slot writes) is safe.  A non-finite total (a genuinely bad coordinate,
+    or an astronomically unlikely overflow of valid ones) falls back to
+    per-quadruple validated construction, so the first offending point
+    raises exactly the ``ValueError`` a one-at-a-time loop would.
+    """
+    if len(flat) % 4:
+        raise ValueError(
+            f"flat point buffer length must be a multiple of 4, got {len(flat)}"
+        )
+    it = iter(flat)
+    if math.isfinite(sum(flat)):
+        return list(map(_trusted_plane_point, it, it, it, it))
+    return list(map(PlanePoint, it, it, it, it))
 
 
 def haversine_m(

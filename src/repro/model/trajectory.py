@@ -212,6 +212,18 @@ class CompressedTrajectory:
         """Bytes needed to store the key points on the target platform."""
         return len(self.key_points) * bytes_per_point
 
+    def to_columns(self) -> "TrajectoryColumns":
+        """Shred the key points into flat ``(ts, xs, ys)`` columns.
+
+        The serialization hook used by :mod:`repro.storage.codec`: the
+        binary codec delta-encodes these columns, and decoding produces a
+        :class:`~repro.model.columns.TrajectoryColumns` again (``z`` is
+        dropped — the codec covers the 2-D hot path).
+        """
+        from .columns import TrajectoryColumns  # late: columns imports point
+
+        return TrajectoryColumns.from_points(self.key_points)
+
     def segments(self) -> list[tuple[PlanePoint, PlanePoint]]:
         """The (start, end) pairs of every compressed segment."""
         return list(zip(self.key_points, self.key_points[1:]))

@@ -1,0 +1,60 @@
+"""Persistence for compressed trajectories: codec, store, queries.
+
+BQS compresses "on the go" so constrained devices can afford to *keep*
+their trajectories — this package is where they are kept.  Three modules,
+lowest first:
+
+:mod:`repro.storage.codec`
+    A compact binary encoding of
+    :class:`~repro.model.trajectory.CompressedTrajectory`: a
+    self-describing header (algorithm, ε, metric, quanta, optional UTM
+    zone) followed by delta-encoded fixed-point zig-zag varint columns.
+    Decoding yields :class:`~repro.model.columns.TrajectoryColumns` plus
+    the header — lossless at the declared quantum.
+
+:mod:`repro.storage.store`
+    :class:`~repro.storage.store.TrajectoryStore`: an append-only
+    segmented log of codec records with crash-safe appends (length +
+    CRC-prefixed records, truncated-tail tolerance), per-device manifests,
+    an in-memory time/bbox index built on open, tombstone deletes and
+    compaction.  :class:`~repro.storage.store.StoreSink` plugs the store
+    into the engine's :class:`~repro.engine.sinks.Sink` protocol so fleet
+    runs stream straight to disk.
+
+:mod:`repro.storage.query`
+    Error-aware spatio-temporal queries answered over the compressed
+    segments: time-window (exact — compression preserves stream spans)
+    and spatial range in two modes, ``approximate`` (ε-expanded bounding
+    boxes from the index only) and ``exact`` (chord-level geometry against
+    the ε-expanded rectangle; no false negatives by the error bound).
+
+``python -m repro.storage`` drives all three: ``ingest`` a simulated
+fleet to disk, ``stat`` a store, ``query`` it, ``compact`` it.
+"""
+
+from .codec import (
+    DEFAULT_T_QUANTUM,
+    DEFAULT_XY_QUANTUM,
+    CodecError,
+    DecodedTrajectory,
+    decode_trajectory,
+    encode_trajectory,
+)
+from .query import QueryMatch, range_query, time_window_query
+from .store import RecordRef, StoreSink, TrajectoryStore, shard_store_sink
+
+__all__ = [
+    "CodecError",
+    "DEFAULT_T_QUANTUM",
+    "DEFAULT_XY_QUANTUM",
+    "DecodedTrajectory",
+    "QueryMatch",
+    "RecordRef",
+    "StoreSink",
+    "TrajectoryStore",
+    "decode_trajectory",
+    "encode_trajectory",
+    "range_query",
+    "shard_store_sink",
+    "time_window_query",
+]

@@ -1,0 +1,204 @@
+"""CLI entry point: ``python -m repro.storage``.
+
+Subcommands::
+
+    # compress a simulated fleet straight to disk (engine -> StoreSink)
+    PYTHONPATH=src python -m repro.storage ingest /tmp/fleet --devices 50 --fixes 200
+
+    # what's in a store
+    PYTHONPATH=src python -m repro.storage stat /tmp/fleet
+
+    # who was active in a window / who entered a rectangle
+    PYTHONPATH=src python -m repro.storage query /tmp/fleet --t0 10 --t1 60
+    PYTHONPATH=src python -m repro.storage query /tmp/fleet --rect -200,-200,200,200
+    PYTHONPATH=src python -m repro.storage query /tmp/fleet --rect -200,-200,200,200 \\
+        --t0 0 --t1 100 --mode approximate
+
+    # drop tombstoned data, rewrite live records into fresh segments
+    PYTHONPATH=src python -m repro.storage compact /tmp/fleet
+
+``ingest`` runs the same seeded fleet simulation as ``python -m
+repro.engine`` but streams every sealed trajectory through the
+:class:`~repro.storage.store.StoreSink` with ``collect=False`` — the
+process holds no compressed output in memory; the store directory is the
+result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import sys
+import time
+from typing import Sequence
+
+from ..engine.core import StreamEngine
+from ..engine.simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+from .query import range_query, time_window_query
+from .store import StoreSink, TrajectoryStore
+
+__all__ = ["main"]
+
+
+def _parse_rect(text: str):
+    parts = text.split(",")
+    if len(parts) != 4:
+        raise SystemExit(
+            f"--rect expects x_min,y_min,x_max,y_max, got {text!r}"
+        )
+    try:
+        rect = tuple(float(p) for p in parts)
+    except ValueError:
+        raise SystemExit(f"--rect values must be numeric, got {text!r}")
+    return rect
+
+
+def _cmd_ingest(args) -> int:
+    ids, cols = fleet_fixes(args.devices, args.fixes, seed=args.seed)
+    total = len(ids)
+    factory = functools.partial(bqs_fleet_factory, args.epsilon)
+    sink = StoreSink(args.store)
+    engine = StreamEngine(
+        factory,
+        collect=False,
+        sink=sink,
+        max_devices=args.max_devices,
+        idle_timeout=args.idle_timeout,
+    )
+    start = time.perf_counter()
+    for batch in iter_fix_batches(ids, cols, args.batch):
+        engine.push_columns(*batch)
+    engine.finish_all()
+    wall = time.perf_counter() - start
+    # Read the summary off the sink's own store before closing it — no
+    # reopen-and-rescan of segments we just wrote.
+    store = sink.store
+    store.flush()
+    disk = store.total_bytes()
+    keys = store.key_point_count
+    records = store.record_count
+    sink.close()
+    print(
+        f"{total} fixes -> {records} trajectories, "
+        f"{keys} key points, {disk} bytes on disk "
+        f"({disk / total:.2f} B/raw fix, {disk / max(keys, 1):.2f} B/key point) "
+        f"in {wall:.3f}s = {total / wall:,.0f} fixes/s"
+    )
+    return 0
+
+
+def _cmd_stat(args) -> int:
+    with TrajectoryStore(args.store) as store:
+        span = store.time_span()
+        box = store.bbox()
+        print(f"store      {store.directory}")
+        print(
+            f"segments   {len(store.segment_names)} "
+            f"({store.total_bytes()} bytes)"
+        )
+        print(f"devices    {len(store.devices())}")
+        print(f"records    {store.record_count}")
+        print(f"key points {store.key_point_count}")
+        if span is not None:
+            print(f"time span  [{span[0]:.3f}, {span[1]:.3f}]")
+        if box is not None:
+            print(
+                f"bbox       [{box[0]:.2f}, {box[1]:.2f}] .. "
+                f"[{box[2]:.2f}, {box[3]:.2f}]"
+            )
+        if store.scan_report:
+            for segment, dropped in sorted(store.scan_report.items()):
+                print(
+                    f"warning    {segment}: {dropped} trailing bytes "
+                    f"unreadable (truncated/corrupt tail)",
+                    file=sys.stderr,
+                )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    if args.rect is None and args.t0 is None:
+        raise SystemExit("query needs --rect and/or --t0/--t1")
+    if (args.t0 is None) != (args.t1 is None):
+        raise SystemExit("--t0 and --t1 must be given together")
+    with TrajectoryStore(args.store) as store:
+        if args.rect is not None:
+            matches = range_query(
+                store,
+                _parse_rect(args.rect),
+                mode=args.mode,
+                t0=args.t0,
+                t1=args.t1,
+            )
+        else:
+            matches = time_window_query(store, args.t0, args.t1)
+        for m in sorted(matches, key=lambda m: (m.device_id, m.ref.t_min)):
+            flag = "definite" if m.definite else "possible"
+            print(
+                f"{m.device_id}  {flag}  t=[{m.ref.t_min:.3f}, "
+                f"{m.ref.t_max:.3f}]  keys={m.ref.n_key_points}  "
+                f"{m.ref.segment}@{m.ref.offset}"
+            )
+        devices = sorted({m.device_id for m in matches})
+        print(
+            f"{len(matches)} record(s), {len(devices)} device(s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    with TrajectoryStore(args.store) as store:
+        stats = store.compact()
+    print(
+        f"compacted: {stats['records']} live records, "
+        f"{stats['bytes_before']} -> {stats['bytes_after']} bytes"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.storage",
+        description="Persist, inspect and query compressed trajectories.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ingest", help="stream a simulated fleet into a store")
+    p.add_argument("store", help="store directory (created if missing)")
+    p.add_argument("--devices", type=int, default=50)
+    p.add_argument("--fixes", type=int, default=200, help="fixes per device")
+    p.add_argument("--epsilon", type=float, default=10.0, help="metres")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--batch", type=int, default=4096, help="fixes per batch")
+    p.add_argument("--max-devices", type=int, default=None)
+    p.add_argument("--idle-timeout", type=float, default=None)
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser("stat", help="summarize a store")
+    p.add_argument("store")
+    p.set_defaults(func=_cmd_stat)
+
+    p = sub.add_parser("query", help="time-window / spatial-range query")
+    p.add_argument("store")
+    p.add_argument("--rect", default=None, metavar="XMIN,YMIN,XMAX,YMAX")
+    p.add_argument("--t0", type=float, default=None)
+    p.add_argument("--t1", type=float, default=None)
+    p.add_argument(
+        "--mode",
+        choices=("exact", "approximate"),
+        default="exact",
+        help="range mode: exact decodes candidates, approximate is index-only",
+    )
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("compact", help="rewrite live records, drop dead data")
+    p.add_argument("store")
+    p.set_defaults(func=_cmd_compact)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,359 @@
+"""Compact binary codec for compressed trajectories.
+
+Key points are highly compressible even after BQS has discarded most of
+the stream: timestamps are near-monotone ramps and coordinates move by
+bounded steps, so **delta-encoded fixed-point zig-zag varints** store a
+typical key point in a handful of bytes instead of the 24 a raw
+``(t, x, y)`` double triple costs.  The layout (all integers are
+little-endian; "varint" is the LEB128-style 7-bits-per-byte unsigned
+form, "svarint" its zig-zag-mapped signed form):
+
+========================  =====================================================
+``magic``                 4 bytes, ``b"BQTC"``
+``version``               u8 (currently 1)
+``flags``                 u8; bit 0 = a UTM zone follows the quanta
+``metric``                u8 (:data:`_METRIC_IDS`)
+``algorithm``             u8 length + UTF-8 bytes (the compressor's name)
+``epsilon``               f64 (``inf`` for unbounded algorithms)
+``original_count``        varint (raw points the trajectory represents)
+``n``                     varint (key points)
+``xy_quantum``            f64 (metres per coordinate quantum)
+``t_quantum``             f64 (seconds per timestamp quantum)
+``utm zone, south``       u8 + u8, only when flags bit 0 is set
+``ts column``             ``n`` svarints: first absolute quantum count, then deltas
+``xs column``             same
+``ys column``             same
+========================  =====================================================
+
+Values are quantized as ``q = round(v / quantum)`` and decoded as
+``q * quantum`` — so decoding is exact *at the quantum* (default 1 cm in
+space, 1 ms in time, both far below GPS error and ε), and
+encode → decode → encode is byte-identical, which the round-trip fuzz
+tests pin.  Columns are delta-encoded against the previous key point;
+timestamps being non-decreasing makes their deltas non-negative, but the
+signed form is kept for all three columns so one primitive serves.
+
+The codec is the serialization boundary of the storage layer:
+:mod:`repro.storage.store` frames these blobs into its segmented log and
+:mod:`repro.storage.query` reads them back through
+:func:`decode_trajectory`.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from array import array
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..geometry.metrics import DistanceMetric
+from ..model.columns import TrajectoryColumns
+from ..model.point import PlanePoint, plane_points_from_flat
+from ..model.projection import UTMProjection
+from ..model.trajectory import CompressedTrajectory
+
+__all__ = [
+    "DEFAULT_XY_QUANTUM",
+    "DEFAULT_T_QUANTUM",
+    "MAGIC",
+    "CodecError",
+    "DecodedTrajectory",
+    "encode_trajectory",
+    "decode_trajectory",
+    "quantize",
+]
+
+MAGIC = b"BQTC"
+_VERSION = 1
+_FLAG_UTM = 0x01
+
+#: 1 cm spatial resolution: two orders of magnitude below civilian GPS
+#: accuracy and three below a typical ε, so quantization error is noise.
+DEFAULT_XY_QUANTUM = 0.01
+#: 1 ms timestamp resolution (GPS fixes carry at most centisecond stamps).
+DEFAULT_T_QUANTUM = 0.001
+
+#: Stable wire ids for the deviation metric — enum *values* are part of the
+#: on-disk format, so they are pinned here rather than derived from the
+#: enum's definition order.
+_METRIC_IDS = {
+    DistanceMetric.POINT_TO_LINE: 0,
+    DistanceMetric.POINT_TO_SEGMENT: 1,
+}
+_METRIC_BY_ID = {v: k for k, v in _METRIC_IDS.items()}
+
+_F64 = struct.Struct("<d")
+
+
+class CodecError(ValueError):
+    """The byte stream is not a valid encoded trajectory."""
+
+
+def quantize(value: float, quantum: float) -> int:
+    """The quantum count a value encodes as; ``quantize(v, q) * q`` is the
+    exact coordinate decoding will reproduce."""
+    return round(value / quantum)
+
+
+# -- varint primitives -------------------------------------------------------
+
+
+def _append_uvarint(buf: bytearray, value: int) -> None:
+    while value > 0x7F:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def _append_svarint(buf: bytearray, value: int) -> None:
+    # Zig-zag: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+    _append_uvarint(buf, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _read_uvarint(data, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    n = len(data)
+    while True:
+        if pos >= n:
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _read_svarint(data, pos: int) -> Tuple[int, int]:
+    raw, pos = _read_uvarint(data, pos)
+    return ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1)), pos
+
+
+# -- encode ------------------------------------------------------------------
+
+
+def _encode_column(buf: bytearray, values, quantum: float) -> Tuple[int, int]:
+    """Delta-encode one column; returns its ``(min, max)`` quantum counts
+    (``(0, 0)`` for an empty column) so callers can derive the envelope
+    from the same quantization pass."""
+    prev = 0
+    first = True
+    q_min = q_max = 0
+    for v in values:
+        q = round(v / quantum)  # quantize() inlined — keep the two in sync
+        if first:
+            _append_svarint(buf, q)
+            first = False
+            q_min = q_max = q
+        else:
+            _append_svarint(buf, q - prev)
+            if q < q_min:
+                q_min = q
+            elif q > q_max:
+                q_max = q
+        prev = q
+    return q_min, q_max
+
+
+def encode_trajectory(
+    trajectory: CompressedTrajectory,
+    *,
+    xy_quantum: float = DEFAULT_XY_QUANTUM,
+    t_quantum: float = DEFAULT_T_QUANTUM,
+    projection: UTMProjection | None = None,
+) -> bytes:
+    """Encode a compressed trajectory to its binary form.
+
+    ``projection`` optionally stamps the UTM zone/hemisphere the plane
+    coordinates live in, so a reader can unproject decoded key points back
+    to GPS without out-of-band context.  ``z`` is not stored (the codec
+    covers the 2-D hot path).
+    """
+    return _encode_with_bounds(
+        trajectory,
+        xy_quantum=xy_quantum,
+        t_quantum=t_quantum,
+        projection=projection,
+    )[0]
+
+
+def _encode_with_bounds(
+    trajectory: CompressedTrajectory,
+    *,
+    xy_quantum: float,
+    t_quantum: float,
+    projection: UTMProjection | None,
+) -> Tuple[bytes, Tuple[int, int, int, int, int, int]]:
+    """:func:`encode_trajectory` plus the per-column quantum-count bounds
+    ``(t_min, t_max, x_min, x_max, y_min, y_max)`` — the store derives its
+    index envelope from the same quantization pass that produced the
+    bytes, so the two can never disagree."""
+    if not (xy_quantum > 0.0 and math.isfinite(xy_quantum)):
+        raise ValueError(f"xy_quantum must be positive and finite, got {xy_quantum!r}")
+    if not (t_quantum > 0.0 and math.isfinite(t_quantum)):
+        raise ValueError(f"t_quantum must be positive and finite, got {t_quantum!r}")
+    metric_id = _METRIC_IDS.get(trajectory.metric)
+    if metric_id is None:
+        raise ValueError(f"metric {trajectory.metric!r} has no wire id")
+    name = trajectory.algorithm.encode("utf-8")
+    if len(name) > 0xFF:
+        raise ValueError(f"algorithm name too long to encode ({len(name)} bytes)")
+
+    buf = bytearray(MAGIC)
+    buf.append(_VERSION)
+    buf.append(_FLAG_UTM if projection is not None else 0)
+    buf.append(metric_id)
+    buf.append(len(name))
+    buf += name
+    buf += _F64.pack(trajectory.tolerance)
+    _append_uvarint(buf, trajectory.original_count)
+    _append_uvarint(buf, len(trajectory.key_points))
+    buf += _F64.pack(xy_quantum)
+    buf += _F64.pack(t_quantum)
+    if projection is not None:
+        buf.append(projection.zone)
+        buf.append(1 if projection.south else 0)
+    cols = trajectory.to_columns()
+    t_min, t_max = _encode_column(buf, cols.ts, t_quantum)
+    x_min, x_max = _encode_column(buf, cols.xs, xy_quantum)
+    y_min, y_max = _encode_column(buf, cols.ys, xy_quantum)
+    return bytes(buf), (t_min, t_max, x_min, x_max, y_min, y_max)
+
+
+# -- decode ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DecodedTrajectory:
+    """A decoded trajectory: header fields plus columnar key points."""
+
+    columns: TrajectoryColumns
+    algorithm: str
+    epsilon: float
+    metric: DistanceMetric
+    original_count: int
+    xy_quantum: float
+    t_quantum: float
+    utm_zone: int | None
+    utm_south: bool
+    encoded_bytes: int  #: size of the blob this was decoded from
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @property
+    def bytes_per_key_point(self) -> float:
+        """Encoded bytes per stored key point."""
+        n = len(self.columns)
+        return self.encoded_bytes / n if n else float(self.encoded_bytes)
+
+    @property
+    def bytes_per_raw_point(self) -> float:
+        """Encoded bytes per *original* GPS point — the end-to-end figure."""
+        n = self.original_count
+        return self.encoded_bytes / n if n else float(self.encoded_bytes)
+
+    def projection(self) -> UTMProjection | None:
+        """The UTM projection stamped at encode time, if any."""
+        if self.utm_zone is None:
+            return None
+        return UTMProjection(zone=self.utm_zone, south=self.utm_south)
+
+    def key_points(self) -> list[PlanePoint]:
+        """Materialize the decoded key points (``z`` = 0)."""
+        flat: list = []
+        push = flat.extend
+        for t, x, y in self.columns:
+            push((x, y, t, 0.0))
+        return plane_points_from_flat(flat)
+
+    def to_trajectory(self) -> CompressedTrajectory:
+        """Rebuild the :class:`CompressedTrajectory` (at quantum precision)."""
+        return CompressedTrajectory(
+            key_points=tuple(self.key_points()),
+            original_count=self.original_count,
+            metric=self.metric,
+            tolerance=self.epsilon,
+            algorithm=self.algorithm,
+        )
+
+
+def _decode_column(data, pos: int, n: int, quantum: float):
+    out = array("d")
+    append = out.append
+    q = 0
+    for i in range(n):
+        delta, pos = _read_svarint(data, pos)
+        q = delta if i == 0 else q + delta
+        append(q * quantum)
+    return out, pos
+
+
+def decode_trajectory(data: bytes | bytearray | memoryview) -> DecodedTrajectory:
+    """Decode one encoded trajectory; raises :class:`CodecError` on bad input."""
+    data = memoryview(data)
+    if len(data) < 8:
+        raise CodecError(f"blob too short ({len(data)} bytes)")
+    if bytes(data[:4]) != MAGIC:
+        raise CodecError(f"bad magic {bytes(data[:4])!r}")
+    version = data[4]
+    if version != _VERSION:
+        raise CodecError(f"unsupported codec version {version}")
+    flags = data[5]
+    metric_id = data[6]
+    metric = _METRIC_BY_ID.get(metric_id)
+    if metric is None:
+        raise CodecError(f"unknown metric id {metric_id}")
+    name_len = data[7]
+    pos = 8
+    if pos + name_len + 8 > len(data):
+        raise CodecError("truncated header")
+    try:
+        algorithm = bytes(data[pos : pos + name_len]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"algorithm name is not valid UTF-8: {exc}") from exc
+    pos += name_len
+    epsilon = _F64.unpack_from(data, pos)[0]
+    pos += 8
+    original_count, pos = _read_uvarint(data, pos)
+    n, pos = _read_uvarint(data, pos)
+    if pos + 16 > len(data):
+        raise CodecError("truncated header")
+    xy_quantum = _F64.unpack_from(data, pos)[0]
+    t_quantum = _F64.unpack_from(data, pos + 8)[0]
+    pos += 16
+    if not (xy_quantum > 0.0 and t_quantum > 0.0):
+        raise CodecError(
+            f"non-positive quanta (xy={xy_quantum!r}, t={t_quantum!r})"
+        )
+    utm_zone: int | None = None
+    utm_south = False
+    if flags & _FLAG_UTM:
+        if pos + 2 > len(data):
+            raise CodecError("truncated header")
+        utm_zone = data[pos]
+        utm_south = bool(data[pos + 1])
+        pos += 2
+        if not 1 <= utm_zone <= 60:
+            raise CodecError(f"UTM zone out of range: {utm_zone}")
+    ts, pos = _decode_column(data, pos, n, t_quantum)
+    xs, pos = _decode_column(data, pos, n, xy_quantum)
+    ys, pos = _decode_column(data, pos, n, xy_quantum)
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after columns")
+    cols = TrajectoryColumns()
+    cols.ts, cols.xs, cols.ys = ts, xs, ys
+    return DecodedTrajectory(
+        columns=cols,
+        algorithm=algorithm,
+        epsilon=epsilon,
+        metric=metric,
+        original_count=original_count,
+        xy_quantum=xy_quantum,
+        t_quantum=t_quantum,
+        utm_zone=utm_zone,
+        utm_south=utm_south,
+        encoded_bytes=len(data),
+    )

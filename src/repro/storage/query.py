@@ -1,0 +1,171 @@
+"""Error-aware spatio-temporal queries over the compressed store.
+
+The paper's guarantee is the whole query story: every original point lies
+within ε of the compressed segment covering its timestamp, and the key
+points delimiting those segments *are* original samples.  Both query
+kinds exploit exactly that, answering directly over the compressed
+records without ever reconstructing the raw stream:
+
+**Time-window** (:func:`time_window_query`)
+    A device was active in ``[t0, t1]`` iff its stream's time span
+    overlaps the window — and compression preserves the span exactly
+    (the first and last fixes are always key points), so the answer read
+    off the index envelopes equals a brute-force scan of the raw fixes'
+    spans.  Always exact; never decodes a record.
+
+**Spatial range** (:func:`range_query`)
+    "Which devices entered rectangle R?"  Over compressed data the
+    answer has an ε-wide uncertainty band, handled in two modes:
+
+    ``approximate``
+        Index-only screen: a record matches when its stored bounding
+        box, expanded by its own ε (both live in the envelope), reaches
+        R.  No record is decoded; a superset of the exact answer.
+
+    ``exact``
+        Decodes the screened candidates and tests each compressed chord
+        against R expanded by ε
+        (:func:`repro.geometry.planar.segment_rect_distance`).  The
+        error bound makes this **free of false negatives**: an original
+        fix inside R lies within ε of its covering chord, so that chord
+        passes within ε of R.  Matches additionally carry ``definite`` —
+        containment proven because a key point (a real fix) landed
+        inside R — so callers get the classic
+        ``definite ⊆ truth ⊆ matches`` bracket from the range-query
+        literature, which collapses to the exact answer whenever no
+        trajectory ε-grazes the rectangle's boundary without entering.
+
+    Records whose ε is not finite (uniform sampling carries no bound)
+    get no expansion — there is no guarantee to expand by — and are
+    matched on their compressed polyline alone.
+
+Both queries compose with a time window: ``range_query(..., t0=, t1=)``
+restricts the spatial test to the chords overlapping the window (the
+spatio-temporal composite query).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..geometry.planar import segment_rect_distance
+from .store import RecordRef, TrajectoryStore
+
+__all__ = ["QueryMatch", "Rect", "time_window_query", "range_query"]
+
+Rect = Tuple[float, float, float, float]  #: ``(x_min, y_min, x_max, y_max)``
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One record satisfying a query."""
+
+    device_id: str
+    ref: RecordRef
+    #: Containment proven from compressed data alone (a key point — an
+    #: actual original fix — inside the query rectangle, inside the time
+    #: window if one was given).  Time-window-only matches are always
+    #: definite; ``approximate`` range matches never are.
+    definite: bool
+
+
+def _check_window(t0: float, t1: float) -> None:
+    if not t1 >= t0:
+        raise ValueError(f"empty time window [{t0}, {t1}]")
+
+
+def time_window_query(
+    store: TrajectoryStore, t0: float, t1: float
+) -> List[QueryMatch]:
+    """Records whose stream time span overlaps ``[t0, t1]`` (exact)."""
+    _check_window(t0, t1)
+    return [
+        QueryMatch(device_id=ref.device_id, ref=ref, definite=True)
+        for ref in store.records()
+        if ref.t_min <= t1 and ref.t_max >= t0
+    ]
+
+
+def _chords_hit(
+    decoded, rect: Rect, eps: float, t0: float | None, t1: float | None
+) -> Tuple[bool, bool]:
+    """``(hit, definite)`` for one decoded record against an ε-expanded
+    rectangle, optionally restricted to the chords overlapping a window."""
+    x_min, y_min, x_max, y_max = rect
+    windowed = t0 is not None
+    cols = decoded.columns
+    ts, xs, ys = cols.ts, cols.xs, cols.ys
+    n = len(ts)
+    hit = False
+    for i in range(n):
+        if not windowed or t0 <= ts[i] <= t1:
+            if x_min <= xs[i] <= x_max and y_min <= ys[i] <= y_max:
+                return True, True  # a real original fix inside the rect
+        if hit or i + 1 >= n:
+            continue
+        if windowed and not (ts[i] <= t1 and ts[i + 1] >= t0):
+            continue
+        d = segment_rect_distance(
+            (xs[i], ys[i]), (xs[i + 1], ys[i + 1]), x_min, y_min, x_max, y_max
+        )
+        if d <= eps:
+            hit = True  # keep scanning: a later key point may be definite
+    if not hit and n == 1 and (not windowed or t0 <= ts[0] <= t1):
+        # Single key point: the stream collapsed to one fix; treat it as a
+        # zero-length chord with the same ε uncertainty.
+        d = segment_rect_distance(
+            (xs[0], ys[0]), (xs[0], ys[0]), x_min, y_min, x_max, y_max
+        )
+        hit = d <= eps
+    return hit, False
+
+
+def range_query(
+    store: TrajectoryStore,
+    rect: Rect,
+    *,
+    mode: str = "exact",
+    t0: float | None = None,
+    t1: float | None = None,
+) -> List[QueryMatch]:
+    """Records whose trajectory (possibly) entered ``rect``.
+
+    See the module docstring for the mode guarantees.  With ``t0`` /
+    ``t1`` the spatial test only considers the part of each trajectory
+    inside the window.
+    """
+    x_min, y_min, x_max, y_max = rect
+    if not (x_max >= x_min and y_max >= y_min):
+        raise ValueError(f"degenerate rectangle {rect!r}")
+    if mode not in ("exact", "approximate"):
+        raise ValueError(f"mode must be 'exact' or 'approximate', got {mode!r}")
+    if (t0 is None) != (t1 is None):
+        raise ValueError("t0 and t1 must be given together")
+    if t0 is not None:
+        _check_window(t0, t1)
+
+    matches: List[QueryMatch] = []
+    for ref in store.records():
+        if t0 is not None and not (ref.t_min <= t1 and ref.t_max >= t0):
+            continue
+        eps = ref.epsilon if math.isfinite(ref.epsilon) else 0.0
+        if (
+            ref.x_min - eps > x_max
+            or ref.x_max + eps < x_min
+            or ref.y_min - eps > y_max
+            or ref.y_max + eps < y_min
+        ):
+            continue
+        if mode == "approximate":
+            matches.append(
+                QueryMatch(device_id=ref.device_id, ref=ref, definite=False)
+            )
+            continue
+        hit, definite = _chords_hit(store.read(ref), rect, eps, t0, t1)
+        if hit:
+            matches.append(
+                QueryMatch(device_id=ref.device_id, ref=ref, definite=definite)
+            )
+    return matches

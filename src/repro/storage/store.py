@@ -1,0 +1,668 @@
+"""The append-only segmented trajectory store.
+
+:class:`TrajectoryStore` persists codec blobs in numbered segment files
+under one directory, with the durability story of a write-ahead log:
+
+* **Crash-safe appends.**  Every record is framed ``u32 payload length |
+  u32 CRC-32 | payload`` and appends go to the tail of the active
+  segment only.  A crash mid-write leaves a truncated or corrupt tail;
+  opening the store tolerates it — the scan keeps every record up to the
+  first bad frame in each segment and reports what it dropped, exactly
+  the contract of a log-structured store.
+* **Segment manifest.**  ``manifest.json`` names the live segment files
+  and is replaced atomically (write-new + ``os.replace``), so compaction
+  has a single commit point; segment files not in the manifest are
+  compaction leftovers and are ignored on open, removed by the next
+  :meth:`compact`.
+* **In-memory index.**  Opening scans only the fixed-size record
+  *envelopes* (device id, key-point count, time span, bounding box —
+  computed at append time with the codec's own quantization, so they
+  agree bit-for-bit with decoded coordinates) and builds per-device
+  manifests plus the global record list :mod:`repro.storage.query` runs
+  on.  Blobs are only read back by :meth:`read`.
+* **Deletes and compaction.**  :meth:`delete_device` appends a tombstone
+  record; the device's earlier records drop from the index immediately
+  and from disk at the next :meth:`compact`, which rewrites live records
+  into fresh segments and commits via the manifest.
+
+The store is **single-writer** (one open handle appends; any number of
+processes may read sealed segments).  For a sharded fleet, give each
+shard its own store directory — :func:`shard_store_sink` builds exactly
+that for :class:`~repro.engine.sharded.ShardedStreamEngine`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from ..model.projection import UTMProjection
+from ..model.trajectory import CompressedTrajectory
+from .codec import (
+    DEFAULT_T_QUANTUM,
+    DEFAULT_XY_QUANTUM,
+    CodecError,
+    DecodedTrajectory,
+    _append_uvarint,
+    _encode_with_bounds,
+    _read_uvarint,
+    decode_trajectory,
+)
+
+__all__ = ["RecordRef", "TrajectoryStore", "StoreSink", "shard_store_sink"]
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_ENVELOPE = struct.Struct("<7d")  # t_min t_max x_min x_max y_min y_max epsilon
+
+_RT_TRAJECTORY = 1
+_RT_TOMBSTONE = 2
+
+_MANIFEST = "manifest.json"
+_SEGMENT_FMT = "seg-{:08d}.log"
+
+#: Default segment roll threshold; small enough that compaction and tail
+#: damage touch bounded data, large enough that a fleet run stays in a
+#: handful of files.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class RecordRef:
+    """Index entry for one stored trajectory (envelope, not the blob)."""
+
+    device_id: str
+    segment: str  #: segment file name
+    offset: int  #: byte offset of the record frame in the segment
+    length: int  #: total framed record length in bytes
+    n_key_points: int
+    t_min: float
+    t_max: float
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    #: The trajectory's declared error bound (``inf`` when unbounded),
+    #: mirrored out of the blob header so the query screen never decodes.
+    epsilon: float
+
+
+class TrajectoryStore:
+    """Append-only segmented store of encoded compressed trajectories."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: bool = False,
+    ) -> None:
+        if segment_max_bytes < 4096:
+            raise ValueError(
+                f"segment_max_bytes must be >= 4096, got {segment_max_bytes!r}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._segment_max_bytes = segment_max_bytes
+        self._fsync = fsync
+        self._records: List[RecordRef] = []
+        self._by_device: Dict[str, List[RecordRef]] = {}
+        self._segments: List[str] = []
+        self._next_segment = 1
+        self._handle = None
+        self._active: str | None = None
+        self._active_size = 0
+        self._read_handle = None
+        self._read_segment: str | None = None
+        self._closed = False
+        #: Records dropped by the open scan: damaged tail frames (count)
+        #: per segment — non-empty after recovering from a crash.
+        self.scan_report: Dict[str, int] = {}
+        self._load()
+
+    # -- open-time scan ------------------------------------------------------
+
+    def _load(self) -> None:
+        manifest_path = self.directory / _MANIFEST
+        if manifest_path.exists():
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+            self._segments = [
+                name for name in doc.get("segments", [])
+                if (self.directory / name).exists()
+            ]
+            self._next_segment = int(doc.get("next_segment", 1))
+        else:
+            self._segments = sorted(
+                p.name for p in self.directory.glob("seg-*.log")
+            )
+            if self._segments:
+                self._next_segment = (
+                    int(self._segments[-1][4:-4], 10) + 1
+                )
+        for name in self._segments:
+            self._scan_segment(name)
+        if self._segments:
+            self._active = self._segments[-1]
+            self._active_size = (self.directory / self._active).stat().st_size
+
+    def _scan_segment(self, name: str) -> None:
+        path = self.directory / name
+        with open(path, "rb") as handle:
+            data = handle.read()
+        pos = 0
+        end = len(data)
+        while pos + _FRAME.size <= end:
+            length, crc = _FRAME.unpack_from(data, pos)
+            if length == 0:
+                break  # zeroed tail (crc32(b"") == 0 would pass the check)
+            payload_start = pos + _FRAME.size
+            payload_end = payload_start + length
+            if payload_end > end:
+                break  # truncated tail: a crash mid-append
+            payload = data[payload_start:payload_end]
+            if zlib.crc32(payload) != crc:
+                break  # corrupt tail: stop trusting this segment here
+            try:
+                self._index_payload(name, pos, _FRAME.size + length, payload)
+            except (CodecError, IndexError, UnicodeDecodeError):
+                # Unparseable envelope (CRC collisions are possible on
+                # arbitrary damage): treat like a bad frame.
+                break
+            pos = payload_end
+        if pos < end:
+            self.scan_report[name] = end - pos
+
+    def _index_payload(
+        self, segment: str, offset: int, length: int, payload: bytes
+    ) -> None:
+        rtype = payload[0]
+        id_len, p = _read_uvarint(payload, 1)
+        device_id = payload[p : p + id_len].decode("utf-8")
+        p += id_len
+        if rtype == _RT_TOMBSTONE:
+            if self._by_device.pop(device_id, None) is not None:
+                self._records = [
+                    r for r in self._records if r.device_id != device_id
+                ]
+            return
+        if rtype != _RT_TRAJECTORY:
+            raise CodecError(f"unknown record type {rtype}")
+        if p + _ENVELOPE.size > len(payload):
+            raise CodecError("truncated envelope")
+        t_min, t_max, x_min, x_max, y_min, y_max, epsilon = (
+            _ENVELOPE.unpack_from(payload, p)
+        )
+        p += _ENVELOPE.size
+        n_keys, p = _read_uvarint(payload, p)
+        ref = RecordRef(
+            device_id=device_id,
+            segment=segment,
+            offset=offset,
+            length=length,
+            n_key_points=n_keys,
+            t_min=t_min,
+            t_max=t_max,
+            x_min=x_min,
+            x_max=x_max,
+            y_min=y_min,
+            y_max=y_max,
+            epsilon=epsilon,
+        )
+        self._records.append(ref)
+        self._by_device.setdefault(device_id, []).append(ref)
+
+    # -- writing -------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        tmp = self.directory / (_MANIFEST + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"segments": self._segments, "next_segment": self._next_segment},
+                handle,
+            )
+            handle.write("\n")
+            if self._fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.directory / _MANIFEST)
+
+    def _open_segment(self) -> None:
+        name = _SEGMENT_FMT.format(self._next_segment)
+        self._next_segment += 1
+        self._segments.append(name)
+        # Commit the segment to the manifest before any record lands in it,
+        # so a crash can never leave indexed-but-unlisted data.
+        self._write_manifest()
+        # "wb", not "ab": a crashed compaction can leave an orphan file
+        # under this name (written but never committed to the manifest);
+        # appending would land new frames behind its stale ones while the
+        # offset accounting starts at zero.  Truncate whatever is there.
+        self._handle = open(self.directory / name, "wb")
+        self._active = name
+        self._active_size = 0
+
+    def _ensure_writable(self) -> None:
+        if self._closed:
+            raise RuntimeError("store is closed")
+        if self._handle is None:
+            # A segment whose tail was damaged is sealed: bytes appended
+            # after the bad frame would be unreachable to the open scan,
+            # which stops at the first unreadable record.  Roll instead.
+            if (
+                self._active is not None
+                and self._active_size < self._segment_max_bytes
+                and self._active not in self.scan_report
+            ):
+                self._handle = open(self.directory / self._active, "ab")
+            else:
+                self._open_segment()
+        elif self._active_size >= self._segment_max_bytes:
+            self._handle.close()
+            self._handle = None
+            self._open_segment()
+
+    def _append_frame(self, payload: bytes) -> Tuple[str, int, int]:
+        self._ensure_writable()
+        offset = self._active_size
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        self._handle.write(frame)
+        self._handle.write(payload)
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self._active_size += len(frame) + len(payload)
+        return self._active, offset, len(frame) + len(payload)
+
+    def append(
+        self,
+        device_id: str,
+        trajectory: CompressedTrajectory,
+        *,
+        xy_quantum: float = DEFAULT_XY_QUANTUM,
+        t_quantum: float = DEFAULT_T_QUANTUM,
+        projection: UTMProjection | None = None,
+    ) -> RecordRef:
+        """Encode and append one trajectory; returns its index entry.
+
+        The envelope is computed from the *quantized* coordinates, so the
+        index agrees exactly with what :meth:`read` will decode.
+        """
+        key_points = trajectory.key_points
+        if not key_points:
+            raise ValueError("cannot store an empty trajectory (no key points)")
+        blob, bounds = _encode_with_bounds(
+            trajectory,
+            xy_quantum=xy_quantum,
+            t_quantum=t_quantum,
+            projection=projection,
+        )
+        # The envelope comes from the same quantization pass that produced
+        # the bytes, so index and decoded coordinates agree exactly.
+        t_min = bounds[0] * t_quantum
+        t_max = bounds[1] * t_quantum
+        x_min = bounds[2] * xy_quantum
+        x_max = bounds[3] * xy_quantum
+        y_min = bounds[4] * xy_quantum
+        y_max = bounds[5] * xy_quantum
+
+        device_bytes = device_id.encode("utf-8")
+        payload = bytearray()
+        payload.append(_RT_TRAJECTORY)
+        _append_uvarint(payload, len(device_bytes))
+        payload += device_bytes
+        payload += _ENVELOPE.pack(
+            t_min, t_max, x_min, x_max, y_min, y_max, trajectory.tolerance
+        )
+        _append_uvarint(payload, len(key_points))
+        _append_uvarint(payload, len(blob))
+        payload += blob
+
+        segment, offset, length = self._append_frame(bytes(payload))
+        ref = RecordRef(
+            device_id=device_id,
+            segment=segment,
+            offset=offset,
+            length=length,
+            n_key_points=len(key_points),
+            t_min=t_min,
+            t_max=t_max,
+            x_min=x_min,
+            x_max=x_max,
+            y_min=y_min,
+            y_max=y_max,
+            epsilon=trajectory.tolerance,
+        )
+        self._records.append(ref)
+        self._by_device.setdefault(device_id, []).append(ref)
+        return ref
+
+    def delete_device(self, device_id: str) -> int:
+        """Tombstone a device: drop its records from the index now, from
+        disk at the next :meth:`compact`.  Returns how many records died."""
+        dead = self._by_device.pop(device_id, [])
+        if dead:
+            self._records = [
+                r for r in self._records if r.device_id != device_id
+            ]
+        payload = bytearray()
+        payload.append(_RT_TOMBSTONE)
+        device_bytes = device_id.encode("utf-8")
+        _append_uvarint(payload, len(device_bytes))
+        payload += device_bytes
+        self._append_frame(bytes(payload))
+        return len(dead)
+
+    # -- reading -------------------------------------------------------------
+
+    @staticmethod
+    def _parse_frame(frame: bytes, ref: RecordRef) -> bytes:
+        if len(frame) != ref.length:
+            raise CodecError(
+                f"{ref.segment}@{ref.offset}: record extends past segment end"
+            )
+        length, crc = _FRAME.unpack_from(frame, 0)
+        payload = frame[_FRAME.size :]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            raise CodecError(f"{ref.segment}@{ref.offset}: CRC mismatch")
+        return payload
+
+    def _close_read_handle(self) -> None:
+        if self._read_handle is not None:
+            self._read_handle.close()
+            self._read_handle = None
+            self._read_segment = None
+
+    def _read_payload(self, ref: RecordRef) -> bytes:
+        # Cache the open segment across reads: exact-mode range queries and
+        # iter_decoded() visit many records per segment, and one open/seek
+        # per record would dominate their cost.
+        if ref.segment != self._read_segment:
+            self._close_read_handle()
+            self._read_handle = open(self.directory / ref.segment, "rb")
+            self._read_segment = ref.segment
+        self._read_handle.seek(ref.offset)
+        frame = self._read_handle.read(ref.length)
+        return self._parse_frame(frame, ref)
+
+    def read(self, ref: RecordRef) -> DecodedTrajectory:
+        """Decode the stored trajectory behind an index entry."""
+        payload = self._read_payload(ref)
+        id_len, p = _read_uvarint(payload, 1)
+        p += id_len + _ENVELOPE.size
+        n_keys, p = _read_uvarint(payload, p)
+        blob_len, p = _read_uvarint(payload, p)
+        return decode_trajectory(payload[p : p + blob_len])
+
+    def records(self) -> List[RecordRef]:
+        """Every live record, in append order."""
+        return list(self._records)
+
+    def device_manifest(self, device_id: str) -> List[RecordRef]:
+        """One device's live records, in append order."""
+        return list(self._by_device.get(device_id, ()))
+
+    def devices(self) -> List[str]:
+        """Device ids with at least one live record."""
+        return list(self._by_device)
+
+    def iter_decoded(self) -> Iterator[Tuple[RecordRef, DecodedTrajectory]]:
+        """Decode every live record, in append order."""
+        for ref in self._records:
+            yield ref, self.read(ref)
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def key_point_count(self) -> int:
+        return sum(ref.n_key_points for ref in self._records)
+
+    @property
+    def segment_names(self) -> List[str]:
+        return list(self._segments)
+
+    def total_bytes(self) -> int:
+        """Bytes on disk across live segment files."""
+        total = 0
+        for name in self._segments:
+            path = self.directory / name
+            if path.exists():
+                total += path.stat().st_size
+        return total
+
+    def time_span(self) -> Tuple[float, float] | None:
+        if not self._records:
+            return None
+        return (
+            min(ref.t_min for ref in self._records),
+            max(ref.t_max for ref in self._records),
+        )
+
+    def bbox(self) -> Tuple[float, float, float, float] | None:
+        if not self._records:
+            return None
+        return (
+            min(ref.x_min for ref in self._records),
+            min(ref.y_min for ref in self._records),
+            max(ref.x_max for ref in self._records),
+            max(ref.y_max for ref in self._records),
+        )
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite live records into fresh segments; drop dead data.
+
+        Live records are re-framed (in append order) into new segment
+        files, the manifest is atomically repointed at them, and the old
+        files — plus any orphans a crashed compaction left behind — are
+        deleted.  Returns ``{"records": live, "bytes_before": ...,
+        "bytes_after": ...}``.
+        """
+        if self._closed:
+            raise RuntimeError("store is closed")
+        bytes_before = self.total_bytes()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        # The cached read handle may point at a segment about to die.
+        self._close_read_handle()
+        old_segments = list(self._segments)
+
+        # Re-frame every live record into new segments, streaming record
+        # by record (bounded memory) with the source segment handle cached
+        # across the run (records are indexed in append order, so source
+        # segments are visited consecutively).
+        new_segments: List[str] = []
+        new_refs: List[RecordRef] = []
+        handle = None
+        size = 0
+        src_name: str | None = None
+        src_handle = None
+        try:
+            for ref in list(self._records):
+                if ref.segment != src_name:
+                    if src_handle is not None:
+                        src_handle.close()
+                    src_name = ref.segment
+                    src_handle = open(self.directory / src_name, "rb")
+                src_handle.seek(ref.offset)
+                payload = self._parse_frame(
+                    src_handle.read(ref.length), ref
+                )
+                if handle is None or size >= self._segment_max_bytes:
+                    if handle is not None:
+                        handle.close()
+                    name = _SEGMENT_FMT.format(self._next_segment)
+                    self._next_segment += 1
+                    new_segments.append(name)
+                    # "wb" truncates an orphan from an earlier crashed
+                    # compaction that reused this segment number.
+                    handle = open(self.directory / name, "wb")
+                    size = 0
+                frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+                offset = size
+                handle.write(frame)
+                handle.write(payload)
+                size += len(frame) + len(payload)
+                new_refs.append(
+                    RecordRef(
+                        device_id=ref.device_id,
+                        segment=new_segments[-1],
+                        offset=offset,
+                        length=len(frame) + len(payload),
+                        n_key_points=ref.n_key_points,
+                        t_min=ref.t_min,
+                        t_max=ref.t_max,
+                        x_min=ref.x_min,
+                        x_max=ref.x_max,
+                        y_min=ref.y_min,
+                        y_max=ref.y_max,
+                        epsilon=ref.epsilon,
+                    )
+                )
+            if handle is not None:
+                handle.flush()
+                if self._fsync:
+                    os.fsync(handle.fileno())
+                handle.close()
+                handle = None
+        finally:
+            if src_handle is not None:
+                src_handle.close()
+            if handle is not None:
+                handle.close()
+
+        # Commit point: the manifest now names only the new segments.
+        self._segments = new_segments
+        self._write_manifest()
+
+        # Rebuild the index over the new layout.
+        self._records = new_refs
+        self._by_device = {}
+        for ref in new_refs:
+            self._by_device.setdefault(ref.device_id, []).append(ref)
+        self._active = new_segments[-1] if new_segments else None
+        self._active_size = (
+            (self.directory / self._active).stat().st_size
+            if self._active is not None
+            else 0
+        )
+
+        # Old segments (and any orphans from earlier crashes) are dead.
+        live = set(new_segments)
+        for path in self.directory.glob("seg-*.log"):
+            if path.name not in live:
+                path.unlink()
+        for name in old_segments:
+            self.scan_report.pop(name, None)
+        return {
+            "records": len(new_refs),
+            "bytes_before": bytes_before,
+            "bytes_after": self.total_bytes(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._close_read_handle()
+        self._closed = True
+
+    def __enter__(self) -> "TrajectoryStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryStore({str(self.directory)!r}, "
+            f"records={len(self._records)}, segments={len(self._segments)})"
+        )
+
+
+class StoreSink:
+    """A :class:`~repro.engine.sinks.Sink` that persists sealed streams.
+
+    Every trajectory the engine seals — explicitly or by eviction — is
+    encoded with the binary codec and appended to the store the moment it
+    arrives, so a fleet run streams to disk with nothing retained in
+    memory (pair with ``collect=False``).  Pass a directory to let the
+    sink own (open and close) its store, or an open
+    :class:`TrajectoryStore` to share one the caller manages.
+
+    Device ids are stringified on write: the store keys records by UTF-8
+    string, which round-trips the engine's string ids unchanged.
+    """
+
+    def __init__(
+        self,
+        store: TrajectoryStore | str | os.PathLike,
+        *,
+        xy_quantum: float = DEFAULT_XY_QUANTUM,
+        t_quantum: float = DEFAULT_T_QUANTUM,
+        projection: UTMProjection | None = None,
+    ) -> None:
+        self._owns = not isinstance(store, TrajectoryStore)
+        self._store = (
+            TrajectoryStore(store) if self._owns else store
+        )
+        self._xy_quantum = xy_quantum
+        self._t_quantum = t_quantum
+        self._projection = projection
+        self.emitted = 0
+        self.skipped_empty = 0
+
+    @property
+    def store(self) -> TrajectoryStore:
+        return self._store
+
+    def emit(self, device_id, trajectory: CompressedTrajectory) -> None:
+        if not trajectory.key_points:
+            self.skipped_empty += 1
+            return
+        self._store.append(
+            device_id if isinstance(device_id, str) else str(device_id),
+            trajectory,
+            xy_quantum=self._xy_quantum,
+            t_quantum=self._t_quantum,
+            projection=self._projection,
+        )
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._store.close()
+        else:
+            self._store.flush()
+
+
+def shard_store_sink(base_directory: str, shard: int) -> StoreSink:
+    """Per-shard sink factory for the sharded engine.
+
+    The store is single-writer, so every worker gets its own directory:
+    ``functools.partial(shard_store_sink, "/data/fleet")`` is picklable
+    and, called as ``factory(shard)`` inside worker *i*, opens
+    ``/data/fleet/shard-000i``.
+    """
+    return StoreSink(Path(base_directory) / f"shard-{shard:04d}")

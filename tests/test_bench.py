@@ -120,12 +120,13 @@ class TestCLI:
                 "--algorithms", "bqs,fast-bqs,uniform",
                 "--baseline", "pre_pr_bqs_pps=1234.5",
                 "--no-fleet",
+                "--no-storage",
                 "--out", str(out),
             ]
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 2
+        assert doc["schema"] == 3
         assert doc["baselines"] == {"pre_pr_bqs_pps": 1234.5}
         assert doc["workloads"]["random_walk"]["points"] == 400
         keys = {(r["workload"], r["algorithm"]) for r in doc["results"]}
@@ -147,6 +148,7 @@ class TestCLI:
                 "--workloads", "random_walk",
                 "--algorithms", "uniform",
                 "--no-fleet",
+                "--no-storage",
                 "--out", str(out),
             ]
         )
@@ -313,6 +315,7 @@ class TestProfileFlag:
                 "--profile",
                 "--profile-top", "5",
                 "--no-fleet",
+                "--no-storage",
                 "--out", str(out),
             ]
         )
@@ -320,3 +323,72 @@ class TestProfileFlag:
         captured = capsys.readouterr().out
         assert "cumulative" in captured  # pstats table header
         assert not out.exists()  # profiling replaces the benchmark run
+
+
+class TestStorageBench:
+    def test_record_fields_and_audits(self):
+        from repro.bench.storage import run_storage_bench
+
+        r = run_storage_bench(
+            points=800,
+            fleet_devices=6,
+            fleet_fixes_per_device=40,
+            repeats=1,
+        )
+        assert r.key_points > 0
+        assert r.encoded_bytes > 0
+        assert r.bytes_per_raw_point < 12  # beats raw GPS storage
+        assert r.end_to_end_ratio > 1.0
+        assert len(r.blob_digest) == 16 and len(r.query_digest) == 16
+        assert r.ingest_fixes_per_sec > 0
+        doc = r.to_json()
+        assert doc["workload"] == "random_walk"
+        assert doc["store_bytes"] > 0
+
+    def test_compare_flags_storage_behaviour(self, tmp_path, capsys):
+        def doc(digest, ips=1000.0):
+            return {
+                "schema": 3,
+                "results": [],
+                "storage": {
+                    "points": 800,
+                    "fleet_devices": 6,
+                    "fleet_fixes": 40,
+                    "ingest_fixes_per_sec": ips,
+                    "blob_digest": digest,
+                    "query_digest": "q" * 16,
+                },
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(doc("a" * 16)))
+        new.write_text(json.dumps(doc("a" * 16)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        capsys.readouterr()
+        new.write_text(json.dumps(doc("b" * 16)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+        assert "codec output moved" in capsys.readouterr().out
+
+    def test_compare_storage_timing_only_warns(self, tmp_path, capsys):
+        def doc(ips):
+            return {
+                "schema": 3,
+                "results": [],
+                "storage": {
+                    "points": 800,
+                    "fleet_devices": 6,
+                    "fleet_fixes": 40,
+                    "ingest_fixes_per_sec": ips,
+                    "blob_digest": "a" * 16,
+                    "query_digest": "q" * 16,
+                },
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(doc(1000.0)))
+        new.write_text(json.dumps(doc(100.0)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        assert "ingest throughput fell" in capsys.readouterr().out
+        assert main(["compare", str(old), str(new), "--strict"]) == 1

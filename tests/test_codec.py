@@ -1,0 +1,232 @@
+"""Codec tests: lossless-at-quantum round trips, fuzz, geodetic closure.
+
+The codec's contract has three layers, each pinned here:
+
+* **Exactness at the quantum** — every decoded coordinate equals
+  ``round(v / quantum) * quantum`` of the encoded one, bit for bit, and
+  re-encoding a decoded trajectory reproduces the identical byte string
+  (idempotence).  The fuzz test hammers this across random magnitudes,
+  quanta, metrics and algorithm names (``CODEC_FUZZ_CASES`` scales it
+  up in CI).
+* **Self-description** — the header round-trips algorithm, ε, metric,
+  original count and the optional UTM zone, so a blob needs no
+  out-of-band context.
+* **Geodetic closure** — GPS fixes projected through a random UTM zone,
+  compressed by BQS, encoded and decoded come back within the quantum
+  tolerance of the original key-point positions, on both hemispheres
+  (the satellite property test: raw GPS in, bounded positions out).
+"""
+
+import math
+import os
+import random
+
+import pytest
+
+from repro.compression import BQSCompressor
+from repro.compression.evaluate import synthetic_track
+from repro.geometry import DistanceMetric
+from repro.model import CompressedTrajectory, LocationPoint, PlanePoint
+from repro.model.projection import UTMProjection, project_track
+from repro.storage import (
+    DEFAULT_T_QUANTUM,
+    DEFAULT_XY_QUANTUM,
+    CodecError,
+    decode_trajectory,
+    encode_trajectory,
+)
+
+FUZZ_CASES = int(os.environ.get("CODEC_FUZZ_CASES", "30"))
+
+
+def _compressed(n=2000, seed=7, epsilon=10.0):
+    return BQSCompressor(epsilon).compress(synthetic_track(n, seed=seed))
+
+
+class TestRoundTrip:
+    def test_header_fields(self):
+        ct = _compressed()
+        dec = decode_trajectory(encode_trajectory(ct))
+        assert dec.algorithm == "bqs"
+        assert dec.epsilon == 10.0
+        assert dec.metric is DistanceMetric.POINT_TO_LINE
+        assert dec.original_count == 2000
+        assert len(dec.columns) == len(ct.key_points)
+        assert dec.xy_quantum == DEFAULT_XY_QUANTUM
+        assert dec.t_quantum == DEFAULT_T_QUANTUM
+        assert dec.utm_zone is None and dec.projection() is None
+
+    def test_positions_exact_at_quantum(self):
+        ct = _compressed()
+        dec = decode_trajectory(encode_trajectory(ct))
+        for p, (t, x, y) in zip(ct.key_points, dec.columns):
+            assert x == round(p.x / DEFAULT_XY_QUANTUM) * DEFAULT_XY_QUANTUM
+            assert y == round(p.y / DEFAULT_XY_QUANTUM) * DEFAULT_XY_QUANTUM
+            assert t == round(p.t / DEFAULT_T_QUANTUM) * DEFAULT_T_QUANTUM
+            assert abs(x - p.x) <= DEFAULT_XY_QUANTUM / 2
+            assert abs(y - p.y) <= DEFAULT_XY_QUANTUM / 2
+            assert abs(t - p.t) <= DEFAULT_T_QUANTUM / 2
+
+    def test_reencode_byte_identical(self):
+        ct = _compressed()
+        blob = encode_trajectory(ct)
+        assert encode_trajectory(decode_trajectory(blob).to_trajectory()) == blob
+
+    def test_utm_zone_round_trip(self):
+        ct = _compressed(200)
+        proj = UTMProjection(zone=33, south=True)
+        dec = decode_trajectory(encode_trajectory(ct, projection=proj))
+        assert dec.utm_zone == 33 and dec.utm_south is True
+        assert dec.projection() == proj
+
+    def test_compact_on_disk(self):
+        """The point of the codec: far below 24 raw double bytes/point."""
+        ct = _compressed(10_000)
+        blob = encode_trajectory(ct)
+        assert len(blob) < len(ct.key_points) * 12  # beats even raw GPS size
+
+    def test_empty_and_single_point(self):
+        empty = CompressedTrajectory(key_points=(), original_count=0)
+        dec = decode_trajectory(encode_trajectory(empty))
+        assert len(dec.columns) == 0 and dec.key_points() == []
+        one = CompressedTrajectory(
+            key_points=(PlanePoint(1.25, -3.5, 17.0),), original_count=5
+        )
+        dec = decode_trajectory(encode_trajectory(one))
+        assert dec.key_points() == [PlanePoint(1.25, -3.5, 17.0)]
+
+    def test_key_point_timestamps_stay_monotone(self):
+        """Quantization must never reorder key points in time."""
+        ct = _compressed(5000, seed=11)
+        dec = decode_trajectory(encode_trajectory(ct))
+        ts = dec.columns.ts
+        assert all(b >= a for a, b in zip(ts, ts[1:]))
+        dec.to_trajectory()  # CompressedTrajectory re-validates this
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            decode_trajectory(b"NOPE" + bytes(32))
+
+    def test_bad_version(self):
+        blob = bytearray(encode_trajectory(_compressed(50)))
+        blob[4] = 99
+        with pytest.raises(CodecError):
+            decode_trajectory(bytes(blob))
+
+    def test_truncation_always_raises(self):
+        blob = encode_trajectory(_compressed(200, seed=3))
+        for cut in (0, 3, 7, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CodecError):
+                decode_trajectory(blob[:cut])
+
+    def test_trailing_garbage(self):
+        blob = encode_trajectory(_compressed(50))
+        with pytest.raises(CodecError):
+            decode_trajectory(blob + b"\x00")
+
+    def test_bad_quanta_rejected(self):
+        ct = _compressed(50)
+        with pytest.raises(ValueError):
+            encode_trajectory(ct, xy_quantum=0.0)
+        with pytest.raises(ValueError):
+            encode_trajectory(ct, t_quantum=-1.0)
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("case", range(FUZZ_CASES))
+    def test_random_round_trips(self, case):
+        rng = random.Random(9000 + case)
+        n = rng.choice((0, 1, 2, rng.randrange(3, 300)))
+        scale = 10.0 ** rng.randrange(-2, 7)
+        xy_quantum = rng.choice((0.001, 0.01, 0.1, 1.0))
+        t_quantum = rng.choice((0.001, 0.01, 1.0))
+        t = rng.uniform(0.0, 1e9)
+        points = []
+        for _ in range(n):
+            points.append(
+                PlanePoint(
+                    rng.uniform(-scale, scale), rng.uniform(-scale, scale), t
+                )
+            )
+            t += rng.choice((0.0, rng.uniform(0.0, 3600.0)))
+        metric = rng.choice(list(DistanceMetric))
+        ct = CompressedTrajectory(
+            key_points=tuple(points),
+            original_count=n + rng.randrange(0, 10_000) if n else 0,
+            metric=metric,
+            tolerance=rng.choice((5.0, 10.0, math.inf)),
+            algorithm=rng.choice(("bqs", "fast-bqs", "td-tr", "αλγο")),
+        )
+        blob = encode_trajectory(
+            ct, xy_quantum=xy_quantum, t_quantum=t_quantum
+        )
+        dec = decode_trajectory(blob)
+        assert dec.algorithm == ct.algorithm
+        assert dec.metric is metric
+        assert dec.epsilon == ct.tolerance
+        assert dec.original_count == ct.original_count
+        assert len(dec.columns) == n
+        for p, (dt, dx, dy) in zip(points, dec.columns):
+            assert dx == round(p.x / xy_quantum) * xy_quantum
+            assert dy == round(p.y / xy_quantum) * xy_quantum
+            assert dt == round(p.t / t_quantum) * t_quantum
+        assert (
+            encode_trajectory(
+                dec.to_trajectory(),
+                xy_quantum=xy_quantum,
+                t_quantum=t_quantum,
+            )
+            == blob
+        )
+
+
+class TestGeodetic:
+    """GPS -> UTM -> BQS -> codec -> GPS stays within quantum tolerance."""
+
+    @pytest.mark.parametrize("case", range(12))
+    def test_random_zone_round_trip(self, case):
+        rng = random.Random(4100 + case)
+        zone = rng.randrange(1, 61)
+        south = rng.random() < 0.5
+        lat0 = rng.uniform(-70.0, -2.0) if south else rng.uniform(2.0, 70.0)
+        lon0 = (zone * 6.0 - 183.0) + rng.uniform(-2.5, 2.5)
+
+        lat, lon = lat0, lon0
+        fixes = []
+        for k in range(300):
+            fixes.append(
+                LocationPoint(latitude=lat, longitude=lon, timestamp=float(k))
+            )
+            lat += rng.uniform(-4e-5, 4e-5)
+            lon += rng.uniform(-4e-5, 4e-5)
+
+        projection = UTMProjection(zone=zone, south=south)
+        plane = project_track(fixes, projection)
+        compressed = BQSCompressor(10.0).compress(plane)
+        assert compressed.max_deviation_from(plane) <= 10.0 * (1 + 1e-9)
+
+        dec = decode_trajectory(
+            encode_trajectory(compressed, projection=projection)
+        )
+        assert dec.utm_zone == zone and dec.utm_south == south
+
+        # Plane positions: exact at the quantum.
+        for p, (t, x, y) in zip(compressed.key_points, dec.columns):
+            assert abs(x - p.x) <= DEFAULT_XY_QUANTUM / 2 + 1e-9
+            assert abs(y - p.y) <= DEFAULT_XY_QUANTUM / 2 + 1e-9
+            assert abs(t - p.t) <= DEFAULT_T_QUANTUM / 2 + 1e-12
+
+        # Geographic positions: unprojecting through the stamped zone
+        # lands within a whisker of the quantum (the projection's own
+        # round-trip error is sub-millimetre).
+        decoded_projection = dec.projection()
+        original_fix = {f.timestamp: f for f in fixes}
+        for t, x, y in dec.columns:
+            lat_d, lon_d = decoded_projection.inverse(x, y)
+            src = original_fix[round(t)]
+            x_src, y_src = projection.forward(src.latitude, src.longitude)
+            x_back, y_back = projection.forward(lat_d, lon_d)
+            err = math.hypot(x_back - x_src, y_back - y_src)
+            assert err <= DEFAULT_XY_QUANTUM * 0.75, (zone, south, err)

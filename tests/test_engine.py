@@ -297,3 +297,83 @@ class TestEngineCLI:
 
         assert main(["--devices", "5", "--fixes", "40", "--workers", "2"]) == 0
         assert "trajectories" in capsys.readouterr().out
+
+
+class TestSinks:
+    """Sealed streams flow through the Sink protocol — eviction included."""
+
+    def test_eviction_cannot_be_dropped(self):
+        """The satellite guarantee: with collect off and no callback, a
+        sink still receives every LRU- and idle-evicted trajectory."""
+        from repro.engine import ListSink
+
+        sink = ListSink()
+        engine = StreamEngine(
+            _factory, collect=False, sink=sink, max_devices=2
+        )
+        for i in range(5):
+            engine.push_fix(f"d{i}", float(i), float(i), 0.0)
+        assert engine.evictions == 3
+        assert engine.results == {}  # engine retains nothing itself
+        assert sorted(sink.results) == ["d0", "d1", "d2"]  # evicted, delivered
+        engine.finish_all()
+        assert sorted(sink.results) == [f"d{i}" for i in range(5)]
+        assert len(sink) == 5
+
+    def test_idle_eviction_reaches_sink(self):
+        from repro.engine import ListSink
+
+        sink = ListSink()
+        engine = StreamEngine(
+            _factory, collect=False, sink=sink, idle_timeout=10.0
+        )
+        engine.push_fix("quiet", 0.0, 0.0, 0.0)
+        engine.push_fix("chatty", 5.0, 1.0, 1.0)
+        engine.push_fix("chatty", 100.0, 2.0, 2.0)  # clock jumps past horizon
+        assert engine.evictions == 1
+        assert list(sink.results) == ["quiet"]
+
+    def test_all_delivery_paths_agree(self, fleet):
+        """collect ledger, on_finish callback and sink see identical output."""
+        from repro.engine import ListSink
+
+        ids, cols = fleet
+        sink = ListSink()
+        calls = []
+        engine = StreamEngine(
+            _factory,
+            sink=sink,
+            on_finish=lambda d, t: calls.append((d, t)),
+        )
+        for batch in iter_fix_batches(ids, cols, 512):
+            engine.push_columns(*batch)
+        results = engine.finish_all()
+        assert sink.results == results
+        assert dict((d, [t]) for d, t in calls) == results
+
+    def test_callback_sink_adapts_plain_function(self):
+        from repro.engine import CallbackSink
+
+        seen = []
+        sink = CallbackSink(lambda d, t: seen.append(d))
+        engine = StreamEngine(_factory, collect=False, sink=sink)
+        engine.push_fix("x", 0.0, 0.0, 0.0)
+        engine.finish_all()
+        sink.close()
+        assert seen == ["x"]
+
+    def test_list_sink_shares_caller_dict(self):
+        from repro.engine import ListSink
+
+        target = {}
+        sink = ListSink(target)
+        engine = StreamEngine(_factory, collect=False, sink=sink)
+        engine.push_fix("x", 0.0, 0.0, 0.0)
+        engine.finish_all()
+        assert list(target) == ["x"]
+
+    def test_sink_protocol_runtime_checkable(self):
+        from repro.engine import CallbackSink, ListSink, Sink
+
+        assert isinstance(ListSink(), Sink)
+        assert isinstance(CallbackSink(lambda d, t: None), Sink)

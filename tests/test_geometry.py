@@ -164,3 +164,79 @@ class TestProjectionRoundTrip:
         great_circle = haversine_m(*a, *b)
         # UTM scale distortion is bounded by ~0.1% within a zone.
         assert planar == pytest.approx(great_circle, rel=2e-3)
+
+
+class TestSegmentRectDistance:
+    """The range-query workhorse: segment vs axis-aligned rectangle."""
+
+    def test_segment_inside_and_crossing(self):
+        from repro.geometry.planar import segment_rect_distance
+
+        assert segment_rect_distance((1, 1), (2, 2), 0, 0, 3, 3) == 0.0
+        # endpoints outside, segment pierces the rect
+        assert segment_rect_distance((-5, 1), (5, 1), 0, 0, 3, 3) == 0.0
+        # touching a corner counts as contact
+        assert segment_rect_distance((3, 3), (5, 5), 0, 0, 3, 3) == 0.0
+
+    def test_separated_distances(self):
+        from repro.geometry.planar import segment_rect_distance
+
+        # parallel to the right edge, 2 m away
+        assert segment_rect_distance((5, 0), (5, 3), 0, 0, 3, 3) == pytest.approx(2.0)
+        # diagonal to the corner
+        d = segment_rect_distance((4, 4), (6, 6), 0, 0, 3, 3)
+        assert d == pytest.approx(math.sqrt(2.0))
+        # degenerate (point) segment
+        assert segment_rect_distance((0, 7), (0, 7), 0, 0, 3, 3) == pytest.approx(4.0)
+
+    def test_matches_point_sampling(self):
+        """Brute-force sampling along segment and rect never beats it."""
+        import random
+
+        from repro.geometry.planar import (
+            point_segment_distance,
+            segment_rect_distance,
+        )
+
+        rng = random.Random(3)
+        for _ in range(200):
+            a = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            b = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            x0, y0 = rng.uniform(-10, 0), rng.uniform(-10, 0)
+            x1, y1 = x0 + rng.uniform(0.1, 8), y0 + rng.uniform(0.1, 8)
+            d = segment_rect_distance(a, b, x0, y0, x1, y1)
+            corners = [(x0, y0), (x1, y0), (x1, y1), (x0, y1)]
+            edges = list(zip(corners, corners[1:] + corners[:1]))
+            sampled = min(
+                point_segment_distance(
+                    (
+                        a[0] + (b[0] - a[0]) * k / 60.0,
+                        a[1] + (b[1] - a[1]) * k / 60.0,
+                    ),
+                    p,
+                    q,
+                )
+                for k in range(61)
+                for p, q in edges
+            )
+            inside = any(
+                x0 <= a[0] + (b[0] - a[0]) * k / 60.0 <= x1
+                and y0 <= a[1] + (b[1] - a[1]) * k / 60.0 <= y1
+                for k in range(61)
+            )
+            if inside:
+                assert d <= sampled + 1e-9
+                # sampling hit the interior: true distance is 0
+                assert d == 0.0
+            else:
+                assert d <= sampled + 1e-9
+
+    def test_segments_intersect_cases(self):
+        from repro.geometry.planar import segments_intersect
+
+        assert segments_intersect((0, 0), (4, 0), (2, -1), (2, 1))
+        assert segments_intersect((0, 0), (1, 0), (1, 0), (1, 1))  # touch
+        assert segments_intersect((0, 0), (4, 0), (1, 0), (3, 0))  # collinear overlap
+        assert not segments_intersect((0, 0), (1, 0), (3, 0), (4, 0))  # collinear gap
+        assert not segments_intersect((0, 0), (1, 0), (5, -1), (5, 1))
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (2, 1))  # beyond end
