@@ -48,7 +48,7 @@ from .compression import (
     evaluate_suite,
     synthetic_track,
 )
-from .engine import ListSink, ShardedStreamEngine, Sink, StreamEngine
+from .engine import GeoStreamEngine, ListSink, ShardedStreamEngine, Sink, StreamEngine
 from .geometry import DistanceMetric
 from .model import (
     CompressedTrajectory,
@@ -67,6 +67,7 @@ __all__ = [
     "DistanceMetric",
     "DouglasPeucker",
     "FastBQSCompressor",
+    "GeoStreamEngine",
     "ListSink",
     "LocationPoint",
     "PlanePoint",

@@ -9,6 +9,9 @@ Four pieces behind ``python -m repro.bench``:
   with built-in error-bound and path-equivalence audits;
 * :mod:`repro.bench.fleet` — the multi-stream fleet benchmark (per-device
   ceiling vs the single-process engine vs the sharded engine);
+* :mod:`repro.bench.geodetic` — projection throughput and the GPS-native
+  fleet workloads (single-zone / multi-zone / noisy) with geographic
+  query latency, bracket-audited against brute-force lat/lon scans;
 * :mod:`repro.bench.compare` — diffing two recorded ``BENCH_*.json`` runs
   and flagging regressions (behaviour changes separately from timing).
 
@@ -18,6 +21,7 @@ results.
 
 from .compare import diff_benches, format_diff, load_bench_file
 from .fleet import FleetRecord, fleet_digest, run_fleet_bench
+from .geodetic import GeoFleetRecord, ProjectionRecord, run_geodetic_bench
 from .harness import (
     BenchError,
     BenchRecord,
@@ -40,6 +44,8 @@ __all__ = [
     "BenchError",
     "BenchRecord",
     "FleetRecord",
+    "GeoFleetRecord",
+    "ProjectionRecord",
     "WORKLOADS",
     "bench_compressor",
     "bursty_pause",
@@ -55,5 +61,6 @@ __all__ = [
     "random_walk",
     "run_bench",
     "run_fleet_bench",
+    "run_geodetic_bench",
     "vehicle_route",
 ]

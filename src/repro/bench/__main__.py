@@ -36,6 +36,7 @@ from typing import Sequence
 
 from .compare import diff_benches, format_diff, load_bench_file
 from .fleet import run_fleet_bench
+from .geodetic import run_geodetic_bench
 from .harness import default_factories, run_bench
 from .storage import run_storage_bench
 from .workloads import WORKLOADS, make_workload
@@ -115,6 +116,29 @@ def _format_storage(r) -> str:
     return "\n".join(lines)
 
 
+def _format_geodetic(projection_records, fleet_records) -> str:
+    lines = ["geodetic"]
+    lines.append("-" * 72)
+    for p in projection_records:
+        lines.append(
+            f"projection {p.projection:<14} {p.points} pts -> "
+            f"{p.points_per_sec:,.0f} pts/s"
+        )
+    for r in fleet_records:
+        lines.append(
+            f"{r.variant}: {r.devices}x{r.fixes_per_device} fixes, "
+            f"zones {','.join(r.zones)}, "
+            f"ingest {r.ingest_fixes_per_sec:,.0f} fixes/s, "
+            f"geo query exact {r.exact_query_seconds * 1e3:.2f} ms / "
+            f"approx {r.approx_query_seconds * 1e3:.2f} ms "
+            f"(brute {r.brute_query_seconds * 1e3:.2f} ms), "
+            f"{r.definite_devices}/{r.truth_devices}/{r.exact_devices}/"
+            f"{r.approx_devices} dev (def/truth/exact/approx) "
+            f"digest {r.query_digest}"
+        )
+    return "\n".join(lines)
+
+
 def _run_profile(workload_name, points, epsilon, uniform_period, algorithms, top):
     """Satellite mode: run one workload under cProfile, print top-N cumulative."""
     profiler = cProfile.Profile()
@@ -189,6 +213,12 @@ def main_run(argv: Sequence[str]) -> int:
         "--no-storage",
         action="store_true",
         help="skip the storage benchmark (codec density + query latency)",
+    )
+    parser.add_argument(
+        "--no-geodetic",
+        action="store_true",
+        help="skip the geodetic benchmark (projection throughput + GPS "
+        "fleet ingestion + lat/lon query latency)",
     )
     parser.add_argument(
         "--fleet-devices",
@@ -300,9 +330,25 @@ def main_run(argv: Sequence[str]) -> int:
             progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
         )
 
+    geo_projection = []
+    geo_fleets = []
+    if not args.no_geodetic:
+        geo_projection, geo_fleets = run_geodetic_bench(
+            points=points_per_workload,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            fleet_devices=(
+                _SMOKE_STORAGE_DEVICES if args.smoke else args.fleet_devices
+            ),
+            fleet_fixes_per_device=(
+                _SMOKE_STORAGE_FIXES if args.smoke else args.fleet_fixes
+            ),
+            progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+        )
+
     out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
     document = {
-        "schema": 3,
+        "schema": 4,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -319,6 +365,14 @@ def main_run(argv: Sequence[str]) -> int:
         "storage": (
             storage_record.to_json() if storage_record is not None else None
         ),
+        "geodetic": (
+            {
+                "projection": [p.to_json() for p in geo_projection],
+                "fleets": [r.to_json() for r in geo_fleets],
+            }
+            if not args.no_geodetic
+            else None
+        ),
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -331,6 +385,9 @@ def main_run(argv: Sequence[str]) -> int:
     if storage_record is not None:
         print()
         print(_format_storage(storage_record))
+    if geo_fleets:
+        print()
+        print(_format_geodetic(geo_projection, geo_fleets))
     print(f"\nwrote {out_path}")
     return 0
 

@@ -165,6 +165,53 @@ def diff_benches(
                 "behaviour": bool(behaviour_reasons),
             }
         )
+
+    # Geodetic section (schema 4+): fleet variants joined on name.  The
+    # query digest covers the definite/exact/approximate device sets of
+    # the geographic range query — membership decisions with metre-scale
+    # margins, so drift is behaviour, not libm noise.  The projection
+    # throughput records are timing-only and are not diffed (per-machine).
+    old_geo = {
+        r["variant"]: r
+        for r in (old.get("geodetic") or {}).get("fleets", [])
+    }
+    new_geo = {
+        r["variant"]: r
+        for r in (new.get("geodetic") or {}).get("fleets", [])
+    }
+    for variant in sorted(old_geo.keys() & new_geo.keys()):
+        o = old_geo[variant]
+        n = new_geo[variant]
+        old_ips = float(o["ingest_fixes_per_sec"])
+        new_ips = float(n["ingest_fixes_per_sec"])
+        ratio = new_ips / old_ips if old_ips > 0.0 else float("inf")
+        timing_reasons = []
+        behaviour_reasons = []
+        if ratio < threshold:
+            timing_reasons.append(f"ingest throughput fell to {ratio:.2f}x")
+        if (
+            o["devices"] == n["devices"]
+            and o["fixes_per_device"] == n["fixes_per_device"]
+        ):
+            if o["query_digest"] != n["query_digest"]:
+                behaviour_reasons.append(
+                    "geodetic query results moved (digest differs)"
+                )
+            if o["zones"] != n["zones"]:
+                behaviour_reasons.append(
+                    f"stamped zones changed {o['zones']} -> {n['zones']}"
+                )
+        add_row(
+            {
+                "workload": "geodetic",
+                "algorithm": variant,
+                "old_points_per_sec": old_ips,
+                "new_points_per_sec": new_ips,
+                "ratio": ratio,
+                "reasons": timing_reasons + behaviour_reasons,
+                "behaviour": bool(behaviour_reasons),
+            }
+        )
     return rows, flagged
 
 

@@ -1,0 +1,315 @@
+"""Geodetic benchmark: projection throughput + GPS-native fleet workloads.
+
+Two measured stages, digest-audited like the rest of the subsystem:
+
+**Projection stage**
+    Bulk ``forward_columns`` throughput of the full Krüger-series
+    :class:`~repro.model.projection.UTMProjection` and the equirectangular
+    :class:`~repro.model.projection.LocalTangentProjection` over one
+    seeded coordinate column — the cost of turning raw GPS into the
+    metric plane every BQS runs in.  Timing only (libm trigonometry is
+    not bit-portable across platforms, so raw projected bytes make a poor
+    cross-machine digest).
+
+**GPS fleet stage** (three variants)
+    ``single_zone``, ``multi_zone`` (fleet straddling two UTM zone
+    boundaries, both hemispheres) and ``noisy_multi_zone`` (±3 m Gaussian
+    GPS noise): each is simulated with
+    :func:`~repro.engine.simulate.gps_fleet_fixes`, ingested through
+    ``GeoStreamEngine -> StoreSink`` into a temporary store, then
+    answered with a geographic rectangle in ``exact`` and ``approximate``
+    modes plus a brute-force lat/lon scan of the raw fixes.  The run
+    **fails** (:class:`~repro.bench.harness.BenchError`) unless the
+    bracket ``definite ⊆ truth ⊆ exact ⊆ approximate`` holds — the
+    no-false-negative guarantee, surviving projection into each record's
+    own zone — and the digest over the three answer sets pins query
+    behaviour for ``compare``.  Membership decisions have metre-scale
+    margins, so the digest is robust to sub-ulp libm differences that
+    rule out digesting raw projected coordinates.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import math
+import shutil
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Tuple
+
+from ..engine.geodetic import GeoStreamEngine
+from ..engine.simulate import bqs_fleet_factory, gps_fleet_fixes, iter_geo_fix_batches
+from ..model.projection import LocalTangentProjection, UTMProjection
+from ..storage.query import geo_range_query
+from ..storage.store import StoreSink, TrajectoryStore
+from .harness import BenchError
+
+__all__ = [
+    "ProjectionRecord",
+    "GeoFleetRecord",
+    "run_geodetic_bench",
+]
+
+#: The GPS fleet variants the stage runs, with their simulator options.
+_VARIANTS: Tuple[Tuple[str, dict], ...] = (
+    ("single_zone", {}),
+    ("multi_zone", {"multi_zone": True}),
+    ("noisy_multi_zone", {"multi_zone": True, "noise_m": 3.0}),
+)
+
+
+@dataclass(frozen=True)
+class ProjectionRecord:
+    """Bulk projection throughput for one projection implementation."""
+
+    projection: str  #: "utm" or "local_tangent"
+    points: int
+    points_per_sec: float
+    forward_seconds: float  #: best-of-N wall for one full column pass
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class GeoFleetRecord:
+    """One GPS fleet variant: ingest throughput + geodetic query results."""
+
+    variant: str
+    devices: int
+    fixes_per_device: int
+    epsilon: float
+    zones: List[str]  #: distinct stamped frames, e.g. ["22S", "33N"]
+    ingest_fixes_per_sec: float
+    store_bytes: int
+    records: int
+    exact_query_seconds: float  #: best-of-N geographic exact-mode wall
+    approx_query_seconds: float
+    brute_query_seconds: float  #: raw lat/lon scan answering the same rect
+    definite_devices: int
+    truth_devices: int
+    exact_devices: int
+    approx_devices: int
+    query_digest: str  #: sha256[:16] over the three answer sets
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+            result = out
+    return best, result
+
+
+def _projection_stage(
+    points: int, seed: int, repeats: int
+) -> List[ProjectionRecord]:
+    # One seeded coordinate column reused by both projections: a ±10 km
+    # scatter around a mid-zone anchor, the shape ingestion sees.
+    import random
+
+    rng = random.Random(seed * 52_711)
+    lat0, lon0 = 47.36, 8.55
+    lats = [lat0 + rng.uniform(-0.09, 0.09) for _ in range(points)]
+    lons = [lon0 + rng.uniform(-0.13, 0.13) for _ in range(points)]
+    records = []
+    for name, projection in (
+        ("utm", UTMProjection.for_coordinate(lat0, lon0)),
+        ("local_tangent", LocalTangentProjection(lat0, lon0)),
+    ):
+        wall, _ = _best_of(
+            lambda: projection.forward_columns(lats, lons), repeats
+        )
+        records.append(
+            ProjectionRecord(
+                projection=name,
+                points=points,
+                points_per_sec=points / wall if wall > 0.0 else 0.0,
+                forward_seconds=wall,
+            )
+        )
+    return records
+
+
+def _geo_query_rect(lats, lons) -> Tuple[float, float, float, float]:
+    """The middle third of the fleet's *northern-cluster* lat/lon coverage.
+
+    Data-derived so the query stays meaningful at any scale; restricted
+    to the northern hemisphere when both are present because the
+    multi-zone fleet is two clusters a continent apart — the global
+    middle third would land in empty ocean and audit nothing.  The
+    northern cluster straddles the 32|33 zone boundary, so the rectangle
+    exercises the per-record frame projection on both sides of it.
+    """
+    if any(la >= 0.0 for la in lats) and any(la < 0.0 for la in lats):
+        pairs = [(la, lo) for la, lo in zip(lats, lons) if la >= 0.0]
+        lats = [p[0] for p in pairs]
+        lons = [p[1] for p in pairs]
+    lat_min, lat_max = min(lats), max(lats)
+    lon_min, lon_max = min(lons), max(lons)
+    return (
+        lat_min + (lat_max - lat_min) / 3.0,
+        lon_min + (lon_max - lon_min) / 3.0,
+        lat_min + 2.0 * (lat_max - lat_min) / 3.0,
+        lon_min + 2.0 * (lon_max - lon_min) / 3.0,
+    )
+
+
+def _fleet_variant(
+    variant: str,
+    options: dict,
+    devices: int,
+    fixes_per_device: int,
+    epsilon: float,
+    seed: int,
+    repeats: int,
+) -> GeoFleetRecord:
+    ids, ts, lats, lons = gps_fleet_fixes(
+        devices, fixes_per_device, seed=seed, **options
+    )
+    total = len(ids)
+    factory = functools.partial(bqs_fleet_factory, epsilon)
+
+    directory = tempfile.mkdtemp(prefix=f"repro-geo-bench-{variant}-")
+    try:
+        ingest_wall = math.inf
+        for _ in range(repeats):
+            shutil.rmtree(directory, ignore_errors=True)
+            sink = StoreSink(directory)
+            engine = GeoStreamEngine(factory, collect=False, sink=sink)
+            t0 = time.perf_counter()
+            for batch in iter_geo_fix_batches(ids, ts, lats, lons, 4096):
+                engine.push_columns(*batch)
+            engine.finish_all()
+            sink.close()
+            ingest_wall = min(ingest_wall, time.perf_counter() - t0)
+
+        rect = _geo_query_rect(lats, lons)
+        store = TrajectoryStore(directory)
+        try:
+            store_bytes = store.total_bytes()
+            records = store.record_count
+            zones = sorted(
+                {
+                    f"{r.utm_zone}{'S' if r.utm_south else 'N'}"
+                    for r in store.records()
+                    if r.utm_zone is not None
+                }
+            )
+            exact_wall, exact = _best_of(
+                lambda: geo_range_query(store, rect, mode="exact"), repeats
+            )
+            approx_wall, approx = _best_of(
+                lambda: geo_range_query(store, rect, mode="approximate"),
+                repeats,
+            )
+        finally:
+            store.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    def brute() -> set:
+        lat0, lon0, lat1, lon1 = rect
+        inside = set()
+        for d, la, lo in zip(ids, lats, lons):
+            if d not in inside and lat0 <= la <= lat1 and lon0 <= lo <= lon1:
+                inside.add(d)
+        return inside
+
+    brute_wall, truth = _best_of(brute, repeats)
+
+    definite_set = {m.device_id for m in exact if m.definite}
+    exact_set = {m.device_id for m in exact}
+    approx_set = {m.device_id for m in approx}
+    if not definite_set <= truth:
+        raise BenchError(
+            f"geodetic/{variant}: definite matches outside the true answer "
+            f"({sorted(definite_set - truth)[:5]})"
+        )
+    if not truth <= exact_set:
+        raise BenchError(
+            f"geodetic/{variant}: exact mode missed devices the raw GPS "
+            f"scan found (false negatives: {sorted(truth - exact_set)[:5]})"
+        )
+    if not exact_set <= approx_set:
+        raise BenchError(
+            f"geodetic/{variant}: exact mode returned records the "
+            f"approximate screen rejected ({sorted(exact_set - approx_set)[:5]})"
+        )
+
+    digest = hashlib.sha256(
+        (
+            "|".join(sorted(definite_set))
+            + "##"
+            + "|".join(sorted(exact_set))
+            + "##"
+            + "|".join(sorted(approx_set))
+        ).encode()
+    ).hexdigest()[:16]
+
+    return GeoFleetRecord(
+        variant=variant,
+        devices=devices,
+        fixes_per_device=fixes_per_device,
+        epsilon=epsilon,
+        zones=zones,
+        ingest_fixes_per_sec=total / ingest_wall if ingest_wall > 0.0 else 0.0,
+        store_bytes=store_bytes,
+        records=records,
+        exact_query_seconds=exact_wall,
+        approx_query_seconds=approx_wall,
+        brute_query_seconds=brute_wall,
+        definite_devices=len(definite_set),
+        truth_devices=len(truth),
+        exact_devices=len(exact_set),
+        approx_devices=len(approx_set),
+        query_digest=digest,
+    )
+
+
+def run_geodetic_bench(
+    points: int = 100_000,
+    epsilon: float = 10.0,
+    seed: int = 7,
+    fleet_devices: int = 50,
+    fleet_fixes_per_device: int = 200,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> Tuple[List[ProjectionRecord], List[GeoFleetRecord]]:
+    """Run both geodetic stages; returns (projection, fleet) records."""
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    note(f"geodetic/projection ({points} coordinates)")
+    projection_records = _projection_stage(points, seed, repeats)
+
+    fleet_records = []
+    for variant, options in _VARIANTS:
+        note(
+            f"geodetic/{variant} ({fleet_devices} devices x "
+            f"{fleet_fixes_per_device} fixes)"
+        )
+        fleet_records.append(
+            _fleet_variant(
+                variant,
+                options,
+                fleet_devices,
+                fleet_fixes_per_device,
+                epsilon,
+                seed,
+                repeats,
+            )
+        )
+    return projection_records, fleet_records

@@ -15,26 +15,44 @@ interface:
     Multi-core scale-out: hash(device id) → worker process, columnar
     batches over pipes, identical results to the single-process engine.
 
+:class:`GeoStreamEngine`
+    GPS-native front-end: ``(device_id, t, lat, lon)`` batches, per-device
+    UTM zone auto-selection from the first fix, bulk projection through
+    the vectorized ``forward_columns`` path, and zone-stamped sealed
+    trajectories (``ShardedStreamEngine(geodetic=True)`` hosts one per
+    worker).
+
 :mod:`repro.engine.simulate`
     Seeded fleet workload generator for benchmarks and demos
     (``python -m repro.engine`` drives it end to end).
 """
 
 from .core import DeviceId, Fix, StreamEngine
+from .geodetic import GeoFix, GeoStreamEngine
 from .sharded import ShardedStreamEngine, shard_of
-from .simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+from .simulate import (
+    bqs_fleet_factory,
+    fleet_fixes,
+    gps_fleet_fixes,
+    iter_fix_batches,
+    iter_geo_fix_batches,
+)
 from .sinks import CallbackSink, ListSink, Sink
 
 __all__ = [
     "CallbackSink",
     "DeviceId",
     "Fix",
+    "GeoFix",
+    "GeoStreamEngine",
     "ListSink",
     "ShardedStreamEngine",
     "Sink",
     "StreamEngine",
     "bqs_fleet_factory",
     "fleet_fixes",
+    "gps_fleet_fixes",
     "iter_fix_batches",
+    "iter_geo_fix_batches",
     "shard_of",
 ]

@@ -5,12 +5,17 @@ through the engine, printing throughput and the compression outcome::
 
     PYTHONPATH=src python -m repro.engine --devices 200 --fixes 500
     PYTHONPATH=src python -m repro.engine --devices 200 --fixes 500 --workers 2
+    PYTHONPATH=src python -m repro.engine --devices 100 --fixes 300 --geodetic --multi-zone
 
 The default runs the single-process :class:`~repro.engine.core.
 StreamEngine`; ``--workers N`` (N >= 1) runs the sharded multiprocessing
-engine instead.  Use the benchmark subsystem (``python -m repro.bench``)
-for recorded, comparable numbers — this entry point is for watching the
-engine work.
+engine instead.  ``--geodetic`` feeds raw GPS ``(lat, lon)`` fixes through
+the :class:`~repro.engine.geodetic.GeoStreamEngine` front-end (UTM zone
+auto-selected per device; ``--multi-zone`` scatters the fleet across two
+zone boundaries on both hemispheres, ``--noise-m`` adds GPS noise) and
+reports the zones the run stamped.  Use the benchmark subsystem
+(``python -m repro.bench``) for recorded, comparable numbers — this entry
+point is for watching the engine work.
 """
 
 from __future__ import annotations
@@ -22,8 +27,15 @@ import time
 from typing import Sequence
 
 from .core import StreamEngine
+from .geodetic import GeoStreamEngine
 from .sharded import ShardedStreamEngine
-from .simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+from .simulate import (
+    bqs_fleet_factory,
+    fleet_fixes,
+    gps_fleet_fixes,
+    iter_fix_batches,
+    iter_geo_fix_batches,
+)
 
 __all__ = ["main"]
 
@@ -56,14 +68,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="finish streams idle for this many stream-seconds",
     )
+    parser.add_argument(
+        "--geodetic",
+        action="store_true",
+        help="feed raw GPS (lat, lon) fixes through the geodetic front-end "
+        "(per-device UTM zone auto-selection, zone-stamped output)",
+    )
+    parser.add_argument(
+        "--multi-zone",
+        action="store_true",
+        help="with --geodetic: scatter the fleet across two UTM zone "
+        "boundaries on both hemispheres",
+    )
+    parser.add_argument(
+        "--noise-m",
+        type=float,
+        default=0.0,
+        help="with --geodetic: Gaussian GPS noise sigma in metres",
+    )
     args = parser.parse_args(argv)
+    if (args.multi_zone or args.noise_m) and not args.geodetic:
+        parser.error("--multi-zone/--noise-m require --geodetic")
 
-    ids, cols = fleet_fixes(args.devices, args.fixes, seed=args.seed)
-    total = len(ids)
     factory = functools.partial(bqs_fleet_factory, args.epsilon)
+    if args.geodetic:
+        ids, ts, lats, lons = gps_fleet_fixes(
+            args.devices,
+            args.fixes,
+            seed=args.seed,
+            multi_zone=args.multi_zone,
+            noise_m=args.noise_m,
+        )
+        batches = iter_geo_fix_batches(ids, ts, lats, lons, args.batch)
+    else:
+        ids, cols = fleet_fixes(args.devices, args.fixes, seed=args.seed)
+        batches = iter_fix_batches(ids, cols, args.batch)
+    total = len(ids)
     print(
         f"fleet: {args.devices} devices x {args.fixes} fixes "
         f"({total} total), epsilon={args.epsilon} m, "
+        f"{'GPS-native, ' if args.geodetic else ''}"
         f"{'sharded x' + str(args.workers) if args.workers else 'single-process'}",
         file=sys.stderr,
     )
@@ -75,6 +119,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             workers=args.workers,
             max_devices=args.max_devices,
             idle_timeout=args.idle_timeout,
+            geodetic=args.geodetic,
+        )
+    elif args.geodetic:
+        engine = GeoStreamEngine(
+            factory,
+            max_devices=args.max_devices,
+            idle_timeout=args.idle_timeout,
         )
     else:
         engine = StreamEngine(
@@ -82,7 +133,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             max_devices=args.max_devices,
             idle_timeout=args.idle_timeout,
         )
-    for batch in iter_fix_batches(ids, cols, args.batch):
+    for batch in batches:
         engine.push_columns(*batch)
     results = engine.finish_all()
     wall = time.perf_counter() - start
@@ -95,6 +146,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"(rate {key_points / total:.3f}) in {wall:.3f}s "
         f"= {total / wall:,.0f} fixes/s"
     )
+    if args.geodetic:
+        zones = sorted(
+            {
+                (t.frame.zone, "S" if t.frame.south else "N")
+                for v in results.values()
+                for t in v
+                if t.frame is not None
+            }
+        )
+        print(
+            "zones stamped: "
+            + (", ".join(f"{z}{h}" for z, h in zones) or "none")
+        )
     return 0
 
 

@@ -53,6 +53,57 @@ DeviceId = Hashable
 Fix = Tuple[DeviceId, float, float, float]  #: ``(device_id, t, x, y)``
 
 
+def group_fix_stream(
+    fixes: Iterable[Tuple[DeviceId, float, float, float]],
+) -> Dict[DeviceId, tuple[array, array, array]]:
+    """Group an interleaved ``(device_id, t, a, b)`` tuple stream into
+    per-device ``(t, a, b)`` columns in arrival order — one pass, shared
+    by the planar and geodetic front-ends (the coordinate pair is metres
+    for one, degrees for the other)."""
+    groups: Dict[DeviceId, tuple[array, array, array]] = {}
+    get = groups.get
+    for device_id, t, a, b in fixes:
+        cols = get(device_id)
+        if cols is None:
+            cols = (array("d"), array("d"), array("d"))
+            groups[device_id] = cols
+        cols[0].append(t)
+        cols[1].append(a)
+        cols[2].append(b)
+    return groups
+
+
+def group_fix_columns(
+    device_ids: Sequence[DeviceId],
+    ts: Sequence[float],
+    c1: Sequence[float],
+    c2: Sequence[float],
+    c1_name: str = "xs",
+    c2_name: str = "ys",
+) -> Dict[DeviceId, tuple[array, array, array]]:
+    """Group parallel interleaved columns per device (length-validated);
+    the columnar twin of :func:`group_fix_stream`."""
+    n = len(device_ids)
+    if not (len(ts) == len(c1) == len(c2) == n):
+        raise ValueError(
+            "column length mismatch: "
+            f"ids={n}, ts={len(ts)}, {c1_name}={len(c1)}, "
+            f"{c2_name}={len(c2)}"
+        )
+    groups: Dict[DeviceId, tuple[array, array, array]] = {}
+    get = groups.get
+    for i in range(n):
+        device_id = device_ids[i]
+        cols = get(device_id)
+        if cols is None:
+            cols = (array("d"), array("d"), array("d"))
+            groups[device_id] = cols
+        cols[0].append(ts[i])
+        cols[1].append(c1[i])
+        cols[2].append(c2[i])
+    return groups
+
+
 class _DeviceState:
     __slots__ = ("compressor", "last_t", "fixes")
 
@@ -154,6 +205,10 @@ class StreamEngine:
         """Open device ids, least recently active first."""
         return list(self._devices)
 
+    def is_open(self, device_id: DeviceId) -> bool:
+        """Whether a stream is currently open for this device."""
+        return device_id in self._devices
+
     # -- ingestion -----------------------------------------------------------
 
     def push_fix(self, device_id: DeviceId, t: float, x: float, y: float) -> None:
@@ -169,17 +224,7 @@ class StreamEngine:
         (one pass) rather than delegating through :meth:`push_columns`,
         which would unzip and regroup every fix twice.
         """
-        groups: Dict[DeviceId, tuple[array, array, array]] = {}
-        get = groups.get
-        for device_id, t, x, y in fixes:
-            cols = get(device_id)
-            if cols is None:
-                cols = (array("d"), array("d"), array("d"))
-                groups[device_id] = cols
-            cols[0].append(t)
-            cols[1].append(x)
-            cols[2].append(y)
-        return self._dispatch_groups(groups)
+        return self._dispatch_groups(group_fix_stream(fixes))
 
     def push_columns(
         self,
@@ -190,23 +235,25 @@ class StreamEngine:
     ) -> int:
         """Fold a columnar interleaved batch in (``device_ids`` parallel to
         the coordinate columns); the zero-object fast path end to end."""
-        n = len(device_ids)
-        if not (len(ts) == len(xs) == len(ys) == n):
-            raise ValueError(
-                "column length mismatch: "
-                f"ids={n}, ts={len(ts)}, xs={len(xs)}, ys={len(ys)}"
-            )
-        groups: Dict[DeviceId, tuple[array, array, array]] = {}
-        get = groups.get
-        for i in range(n):
-            device_id = device_ids[i]
-            cols = get(device_id)
-            if cols is None:
-                cols = (array("d"), array("d"), array("d"))
-                groups[device_id] = cols
-            cols[0].append(ts[i])
-            cols[1].append(xs[i])
-            cols[2].append(ys[i])
+        return self._dispatch_groups(group_fix_columns(device_ids, ts, xs, ys))
+
+    def push_grouped(
+        self,
+        groups: Dict[DeviceId, Tuple[Sequence[float], Sequence[float], Sequence[float]]],
+    ) -> int:
+        """Fold per-device ``(ts, xs, ys)`` columns in without regrouping.
+
+        The entry point for front-ends that already hold device-grouped
+        columns (the geodetic front-end groups once to pick and apply each
+        device's projection); delegating through :meth:`push_columns`
+        would interleave and regroup every fix a second time.
+        """
+        for device_id, (ts, xs, ys) in groups.items():
+            if not (len(ts) == len(xs) == len(ys)):
+                raise ValueError(
+                    f"column length mismatch for device {device_id!r}: "
+                    f"ts={len(ts)}, xs={len(xs)}, ys={len(ys)}"
+                )
         return self._dispatch_groups(groups)
 
     def _dispatch_groups(

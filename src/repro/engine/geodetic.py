@@ -1,0 +1,262 @@
+"""GPS-native ingestion: the geodetic front-end over the stream engine.
+
+The paper builds every BQS in a *UTM-projected* frame (Section V-A), but
+real traffic arrives as ``(device_id, t, lat, lon)`` fixes.
+:class:`GeoStreamEngine` closes that gap: it accepts geodetic batches in
+the same interleaved shapes :class:`~repro.engine.core.StreamEngine`
+accepts planar ones, auto-selects each device's UTM zone from its **first
+fix** (:meth:`UTMProjection.for_coordinate` — the standard convention for
+single-deployment trajectory datasets), projects each device's columns in
+bulk through the vectorized ``forward_columns`` path (no
+``LocationPoint`` / ``PlanePoint`` objects per fix — the zero-object
+ingestion path stays zero-object), and feeds the projected columns to an
+inner :class:`StreamEngine`.
+
+**Zone stamping.**  When a stream is sealed — explicitly or by an
+eviction policy — the front-end stamps the device's
+:class:`~repro.model.projection.UTMProjection` onto the trajectory's
+``frame`` field before it reaches any sink, ledger or callback.  The
+storage layer reads that frame: :class:`~repro.storage.store.StoreSink` /
+:func:`~repro.storage.codec.encode_trajectory` write the UTM
+zone/hemisphere into every blob header, so a store built from GPS traffic
+answers lat/lon queries (:func:`repro.storage.query.geo_range_query`)
+without out-of-band context.
+
+A sealed device's projection is forgotten with its stream: a device that
+reappears after eviction re-selects its zone from its new first fix, the
+geodetic mirror of the engine's fresh-compressor semantics (a vehicle
+evicted in zone 32 may well wake up in zone 33).  A device that *crosses*
+a zone boundary mid-stream keeps its first fix's frame — UTM projects
+consistently outside the nominal strip, so the plane stays continuous;
+splitting at the boundary is future work (see ROADMAP).
+
+For multi-core scale-out, :class:`~repro.engine.sharded.
+ShardedStreamEngine` accepts ``geodetic=True`` and builds one
+``GeoStreamEngine`` per worker — lat/lon columns cross the pipe and the
+projection work parallelizes with the compression.
+
+Latitude/longitude columns are trusted like every columnar input (no
+range validation per fix); a genuinely out-of-domain latitude surfaces as
+the projection's own ``ValueError`` / ``math domain error``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import replace
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from ..compression.base import StreamingCompressor
+from ..model.projection import UTMProjection
+from ..model.trajectory import CompressedTrajectory
+from .core import DeviceId, StreamEngine, group_fix_columns, group_fix_stream
+from .sinks import CallbackSink, ListSink, Sink
+
+__all__ = ["GeoStreamEngine", "GeoFix"]
+
+GeoFix = Tuple[DeviceId, float, float, float]  #: ``(device_id, t, lat, lon)``
+
+
+def _stamped(
+    trajectory: CompressedTrajectory, projection: UTMProjection | None
+) -> CompressedTrajectory:
+    """The trajectory with ``frame`` set (cheap field rebuild, no copy of
+    the key-point tuple)."""
+    if projection is None or trajectory.frame is projection:
+        return trajectory
+    return replace(trajectory, frame=projection)
+
+
+class _FrameStampSink:
+    """Inner-engine sink: stamp the device's UTM frame, fan out, forget.
+
+    Sits between the inner :class:`StreamEngine` and the caller-facing
+    sinks so *every* seal path — ``finish_device``, ``finish_all``, LRU
+    and idle evictions — delivers zone-stamped trajectories.  Popping the
+    projection on seal keeps the registry bounded by *open* streams and
+    makes a reappearing device re-select its zone.
+    """
+
+    __slots__ = ("_projections", "_sinks")
+
+    def __init__(
+        self,
+        projections: Dict[DeviceId, UTMProjection],
+        sinks: Sequence[Sink],
+    ) -> None:
+        self._projections = projections
+        self._sinks = tuple(sinks)
+
+    def emit(
+        self, device_id: Hashable, trajectory: CompressedTrajectory
+    ) -> None:
+        projection = self._projections.pop(device_id, None)
+        stamped = _stamped(trajectory, projection)
+        for sink in self._sinks:
+            sink.emit(device_id, stamped)
+
+    def close(self) -> None:
+        pass
+
+
+class GeoStreamEngine:
+    """Multiplex GPS device streams: project per device, compress, stamp.
+
+    Mirrors the :class:`~repro.engine.core.StreamEngine` constructor and
+    batch interface, with columns in **degrees** (``lats``/``lons``
+    replacing ``xs``/``ys``) — so the sharded engine's workers can host
+    either engine behind the same message protocol.
+
+    Args:
+        compressor_factory: ``factory(device_id) -> StreamingCompressor``,
+            exactly as for :class:`StreamEngine`.
+        max_devices / idle_timeout: the inner engine's bounded-memory
+            policies, unchanged.
+        on_finish: ``(device_id, trajectory)`` callback; receives
+            zone-stamped trajectories.
+        collect: keep stamped trajectories in :attr:`results`.
+        sink: any :class:`~repro.engine.sinks.Sink`; receives every
+            stamped sealed stream, evictions included.
+    """
+
+    def __init__(
+        self,
+        compressor_factory: Callable[[DeviceId], StreamingCompressor],
+        *,
+        max_devices: int | None = None,
+        idle_timeout: float | None = None,
+        on_finish: Callable[[DeviceId, CompressedTrajectory], None] | None = None,
+        collect: bool = True,
+        sink: Sink | None = None,
+    ) -> None:
+        #: Open streams' UTM projections (device id -> zone frame chosen
+        #: from the device's first fix); entries live exactly as long as
+        #: the stream.
+        self._projections: Dict[DeviceId, UTMProjection] = {}
+        #: Stamped sealed trajectories per device, when ``collect`` is on.
+        self.results: Dict[DeviceId, List[CompressedTrajectory]] = {}
+        sinks: List[Sink] = []
+        if collect:
+            sinks.append(ListSink(self.results))
+        if on_finish is not None:
+            sinks.append(CallbackSink(on_finish))
+        if sink is not None:
+            sinks.append(sink)
+        self._engine = StreamEngine(
+            compressor_factory,
+            max_devices=max_devices,
+            idle_timeout=idle_timeout,
+            collect=False,
+            sink=_FrameStampSink(self._projections, sinks),
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def active_devices(self) -> int:
+        return self._engine.active_devices
+
+    @property
+    def total_fixes(self) -> int:
+        return self._engine.total_fixes
+
+    @property
+    def sealed_trajectories(self) -> int:
+        return self._engine.sealed_trajectories
+
+    @property
+    def evictions(self) -> int:
+        return self._engine.evictions
+
+    @property
+    def clock(self) -> float:
+        return self._engine.clock
+
+    def device_ids(self) -> list[DeviceId]:
+        return self._engine.device_ids()
+
+    def projection_for(self, device_id: DeviceId) -> UTMProjection | None:
+        """The UTM frame of an *open* stream (``None`` once sealed)."""
+        return self._projections.get(device_id)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def push_fix(
+        self, device_id: DeviceId, t: float, latitude: float, longitude: float
+    ) -> None:
+        """Fold a single GPS fix in (convenience; batches are the fast path)."""
+        self.push_columns((device_id,), (t,), (latitude,), (longitude,))
+
+    def push_batch(self, fixes: Iterable[GeoFix]) -> int:
+        """Fold an interleaved ``(device_id, t, lat, lon)`` batch in."""
+        return self._project_and_dispatch(group_fix_stream(fixes))
+
+    def push_columns(
+        self,
+        device_ids: Sequence[DeviceId],
+        ts: Sequence[float],
+        lats: Sequence[float],
+        lons: Sequence[float],
+    ) -> int:
+        """Fold a columnar interleaved geodetic batch in.
+
+        Same shape as :meth:`StreamEngine.push_columns` with the
+        coordinate columns in degrees; the zero-object GPS path end to
+        end (group → pick/reuse zone → bulk-project → compress).
+        """
+        return self._project_and_dispatch(
+            group_fix_columns(
+                device_ids, ts, lats, lons, c1_name="lats", c2_name="lons"
+            )
+        )
+
+    def _project_and_dispatch(
+        self, groups: Dict[DeviceId, tuple[array, array, array]]
+    ) -> int:
+        """Project each device's columns in its frame; feed the inner engine."""
+        projections = self._projections
+        projected: Dict[DeviceId, tuple[array, array, array]] = {}
+        batch_frames: Dict[DeviceId, UTMProjection] = {}
+        for device_id, (ts, lats, lons) in groups.items():
+            projection = projections.get(device_id)
+            if projection is None:
+                projection = UTMProjection.for_coordinate(lats[0], lons[0])
+                projections[device_id] = projection
+            batch_frames[device_id] = projection
+            xs, ys = projection.forward_columns(lats, lons)
+            projected[device_id] = (ts, xs, ys)
+        try:
+            return self._engine.push_grouped(projected)
+        finally:
+            # Re-sync the registry with the inner engine's open streams
+            # for every device this batch touched — dispatch can desync it
+            # in both directions:
+            # * An eviction *inside* the dispatch (LRU cap hit by a new
+            #   device, or the idle policy at batch end) pops the sealed
+            #   stream's projection — but if fixes for that device later
+            #   in the same batch reopened it, the reopened compressor
+            #   already holds coordinates projected in the old frame; a
+            #   later batch would select a fresh zone and stamp
+            #   mixed-frame output.  Restore the batch's frame.
+            # * A dispatch error (e.g. backwards timestamps in another
+            #   device's group) can leave a newly-registered device with
+            #   no opened stream; drop the entry so its zone is
+            #   re-selected from the first fix actually ingested, and the
+            #   registry stays bounded by open streams.
+            for device_id, projection in batch_frames.items():
+                if self._engine.is_open(device_id):
+                    projections.setdefault(device_id, projection)
+                else:
+                    projections.pop(device_id, None)
+
+    # -- sealing -------------------------------------------------------------
+
+    def finish_device(self, device_id: DeviceId) -> CompressedTrajectory:
+        """Seal one device's stream now; returns the stamped trajectory."""
+        projection = self._projections.get(device_id)
+        return _stamped(self._engine.finish_device(device_id), projection)
+
+    def finish_all(self) -> Dict[DeviceId, List[CompressedTrajectory]]:
+        """Seal every open stream; returns the stamped collected results."""
+        self._engine.finish_all()
+        return self.results

@@ -43,7 +43,9 @@ def shard_of(device_id: DeviceId, workers: int) -> int:
     return zlib.crc32(payload) % workers
 
 
-def _worker_main(conn, compressor_factory, engine_kwargs, sink_factory, shard) -> None:
+def _worker_main(
+    conn, compressor_factory, engine_kwargs, sink_factory, shard, geodetic
+) -> None:
     """Worker loop: apply columnar pushes, answer ``finish`` with results.
 
     On an ingestion error the worker reports once, then keeps draining
@@ -55,13 +57,27 @@ def _worker_main(conn, compressor_factory, engine_kwargs, sink_factory, shard) -
     cross a process boundary, but a factory can), fed every sealed stream
     through the engine, and closed after ``finish`` so buffered output is
     durable before the parent sees the results.
+
+    With ``geodetic``, the worker hosts a :class:`~repro.engine.geodetic.
+    GeoStreamEngine`: the pushed coordinate columns are degrees, each
+    device's UTM zone is selected worker-side from its first fix, and the
+    projection work parallelizes with the compression.  Both engines share
+    the ``push_columns(ids, ts, c1, c2)`` shape, so the message protocol
+    is untouched.
     """
     failure: str | None = None
     sink = None
     try:
         if sink_factory is not None:
             sink = sink_factory(shard)
-        engine = StreamEngine(compressor_factory, sink=sink, **engine_kwargs)
+        if geodetic:
+            from .geodetic import GeoStreamEngine
+
+            engine = GeoStreamEngine(
+                compressor_factory, sink=sink, **engine_kwargs
+            )
+        else:
+            engine = StreamEngine(compressor_factory, sink=sink, **engine_kwargs)
     except Exception as exc:
         failure = f"{type(exc).__name__}: {exc}"
         engine = None
@@ -114,7 +130,12 @@ class ShardedStreamEngine:
     (picklable, called as ``sink_factory(shard_index)`` inside each worker)
     builds one :class:`~repro.engine.sinks.Sink` per worker — e.g. one
     :class:`~repro.storage.store.StoreSink` over a per-shard store
-    directory, since the store is single-writer.  With ``collect=False``
+    directory, since the store is single-writer.  With ``geodetic=True``
+    each worker hosts a :class:`~repro.engine.geodetic.GeoStreamEngine`
+    instead: the pushed coordinate columns are interpreted as latitude /
+    longitude degrees, each device's UTM zone is selected worker-side from
+    its first fix, and sealed trajectories come back zone-stamped.  With
+    ``collect=False``
     the workers retain no sealed state and :meth:`finish_all` merges empty
     ledgers — the sinks are then the only output path.  One behavioural
     difference from the in-process engine: this engine is one-shot — its
@@ -133,6 +154,7 @@ class ShardedStreamEngine:
         idle_timeout: float | None = None,
         collect: bool = True,
         sink_factory: Callable[[int], object] | None = None,
+        geodetic: bool = False,
         mp_context: multiprocessing.context.BaseContext | None = None,
     ) -> None:
         if workers < 1:
@@ -158,6 +180,7 @@ class ShardedStreamEngine:
                         engine_kwargs,
                         sink_factory,
                         shard,
+                        geodetic,
                     ),
                     daemon=True,
                 )

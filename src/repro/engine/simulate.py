@@ -11,13 +11,22 @@ given seed, pure stdlib, columnar from the start.
 
 from __future__ import annotations
 
+import random
+from array import array
 from typing import Iterator, List, Sequence, Tuple
 
 from ..compression.bqs import BQSCompressor
 from ..compression.evaluate import synthetic_track
 from ..model.columns import TrajectoryColumns
+from ..model.projection import LocalTangentProjection
 
-__all__ = ["bqs_fleet_factory", "fleet_fixes", "iter_fix_batches"]
+__all__ = [
+    "bqs_fleet_factory",
+    "fleet_fixes",
+    "gps_fleet_fixes",
+    "iter_fix_batches",
+    "iter_geo_fix_batches",
+]
 
 
 def bqs_fleet_factory(epsilon: float, device_id) -> BQSCompressor:
@@ -70,6 +79,105 @@ def fleet_fixes(
             append_x(p.x)
             append_y(p.y)
     return ids, cols
+
+
+#: Anchor clusters for the multi-zone GPS fleet: two UTM zone boundaries
+#: (32|33 at 12°E, 22|23 at 48°W), one per hemisphere, so one simulated
+#: fleet exercises zone selection, hemisphere stamping and
+#: boundary-straddling tracks at once.  Longitudes sit close enough to the
+#: boundary that a ±10 km track crosses it.
+_MULTI_ZONE_ANCHORS = (
+    (41.3, 11.98),  # zone 32/33 boundary, northern hemisphere
+    (41.3, 12.02),  # just east of it: first fix usually lands in zone 33
+    (-23.3, -48.02),  # zone 22/23 boundary, southern hemisphere
+    (-23.3, -47.98),
+)
+
+
+def gps_fleet_fixes(
+    devices: int,
+    fixes_per_device: int,
+    seed: int = 7,
+    *,
+    origin: Tuple[float, float] = (47.36, 8.55),
+    multi_zone: bool = False,
+    noise_m: float = 0.0,
+) -> Tuple[List[str], array, array, array]:
+    """One interleaved fleet stream as raw GPS: ``(ids, ts, lats, lons)``.
+
+    The geodetic twin of :func:`fleet_fixes`: the same per-device
+    correlated random walks and the same rotating interleave, but each
+    device's metric track is placed on the ellipsoid through its own
+    seeded :class:`~repro.model.projection.LocalTangentProjection` anchor
+    (the simulator's metres → degrees leg; ingestion projects them back
+    with the full UTM machinery, so the round trip crosses two distinct
+    projections the way real GPS data crosses receiver and consumer).
+
+    ``origin`` anchors a single-zone fleet (default: zone 32, north);
+    ``multi_zone`` scatters devices over :data:`_MULTI_ZONE_ANCHORS`
+    instead — two zone boundaries, both hemispheres, tracks crossing the
+    boundary.  ``noise_m`` adds seeded Gaussian metre noise to every fix
+    before unprojection (the noisy-GPS variant).  Fully deterministic for
+    a given seed.
+    """
+    ids, cols = fleet_fixes(devices, fixes_per_device, seed=seed)
+    anchor_rng = random.Random(seed * 40_009 + devices)
+    projections = {}
+    # Device names in index order, recovered from the stream itself (the
+    # first tick reports devices 0..n-1 in order) — no duplication of
+    # fleet_fixes' id format here.
+    for i, name in enumerate(dict.fromkeys(ids)):
+        if multi_zone:
+            base_lat, base_lon = _MULTI_ZONE_ANCHORS[
+                i % len(_MULTI_ZONE_ANCHORS)
+            ]
+        else:
+            base_lat, base_lon = origin
+        projections[name] = LocalTangentProjection(
+            ref_latitude=base_lat + anchor_rng.uniform(-0.02, 0.02),
+            ref_longitude=base_lon + anchor_rng.uniform(-0.02, 0.02),
+        )
+    noise_rng = random.Random(seed * 48_611 + devices) if noise_m > 0.0 else None
+    n = len(ids)
+    lats = array("d", bytes(8 * n))
+    lons = array("d", bytes(8 * n))
+    xs, ys = cols.xs, cols.ys
+    for k in range(n):
+        x = xs[k]
+        y = ys[k]
+        if noise_rng is not None:
+            x += noise_rng.gauss(0.0, noise_m)
+            y += noise_rng.gauss(0.0, noise_m)
+        lat, lon = projections[ids[k]].inverse(x, y)
+        lats[k] = lat
+        lons[k] = lon
+    return ids, cols.ts, lats, lons
+
+
+def iter_geo_fix_batches(
+    device_ids: Sequence[str],
+    ts: Sequence[float],
+    lats: Sequence[float],
+    lons: Sequence[float],
+    batch_size: int,
+) -> Iterator[Tuple[Sequence[str], Sequence[float], Sequence[float], Sequence[float]]]:
+    """Chunk an interleaved GPS stream into ``(ids, ts, lats, lons)`` batches."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+    n = len(device_ids)
+    if not (len(ts) == len(lats) == len(lons) == n):
+        raise ValueError(
+            "ids/columns length mismatch: "
+            f"ids={n}, ts={len(ts)}, lats={len(lats)}, lons={len(lons)}"
+        )
+    for start in range(0, n, batch_size):
+        stop = start + batch_size
+        yield (
+            device_ids[start:stop],
+            ts[start:stop],
+            lats[start:stop],
+            lons[start:stop],
+        )
 
 
 def iter_fix_batches(

@@ -27,8 +27,9 @@ rest of the library never cares which one produced its ``PlanePoint``s.
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 from .point import LocationPoint, PlanePoint
 
@@ -51,7 +52,13 @@ UTM_FALSE_NORTHING_SOUTH = 10_000_000.0
 
 
 class Projection(Protocol):
-    """Minimal bidirectional projection interface."""
+    """Minimal bidirectional projection interface.
+
+    The concrete projections in this module additionally provide
+    ``forward_columns(lats, lons) -> (xs, ys)``, the bulk twin of
+    :meth:`forward` used by the geodetic ingestion path; it is kept out of
+    the protocol so a two-method custom projection still satisfies it.
+    """
 
     def forward(self, latitude: float, longitude: float) -> tuple[float, float]:
         """Geographic degrees -> planar metres ``(x, y)``."""
@@ -153,6 +160,59 @@ class TransverseMercator:
         y = self.false_northing + self.scale * rect_radius * xi
         return (x, y)
 
+    def forward_columns(
+        self, latitudes: Sequence[float], longitudes: Sequence[float]
+    ) -> tuple[array, array]:
+        """Bulk :meth:`forward`: degree columns in, metre columns out.
+
+        Performs exactly the operations of :meth:`forward`, in the same
+        order, so the output is bit-identical to a per-point loop — the
+        zero-object path for geodetic ingestion (no ``LocationPoint`` /
+        tuple per fix, constants and math functions hoisted out of the
+        loop).
+        """
+        n = len(latitudes)
+        if len(longitudes) != n:
+            raise ValueError(
+                f"column length mismatch: lats={n}, lons={len(longitudes)}"
+            )
+        xs = array("d", bytes(8 * n))
+        ys = array("d", bytes(8 * n))
+        e: float = self._e  # type: ignore[attr-defined]
+        alpha: tuple[float, ...] = self._alpha  # type: ignore[attr-defined]
+        rect_radius: float = self._rect_radius  # type: ignore[attr-defined]
+        cm = self.central_meridian_deg
+        kx = self.scale * rect_radius
+        fe = self.false_easting
+        fn = self.false_northing
+        radians = math.radians
+        remainder = math.remainder
+        sin = math.sin
+        cos = math.cos
+        sinh = math.sinh
+        cosh = math.cosh
+        atanh = math.atanh
+        asinh = math.asinh
+        atan2 = math.atan2
+        hypot = math.hypot
+        two_pi = 2.0 * math.pi
+        for i in range(n):
+            phi = radians(latitudes[i])
+            lam = remainder(radians(longitudes[i] - cm), two_pi)
+            sin_phi = sin(phi)
+            t = sinh(atanh(sin_phi) - e * atanh(e * sin_phi))
+            cos_lam = cos(lam)
+            xi_p = atan2(t, cos_lam)
+            eta_p = asinh(sin(lam) / hypot(t, cos_lam))
+            xi = xi_p
+            eta = eta_p
+            for j, a_j in enumerate(alpha, start=1):
+                xi += a_j * sin(2 * j * xi_p) * cosh(2 * j * eta_p)
+                eta += a_j * cos(2 * j * xi_p) * sinh(2 * j * eta_p)
+            xs[i] = fe + kx * eta
+            ys[i] = fn + kx * xi
+        return xs, ys
+
     # -- inverse -----------------------------------------------------------
 
     def inverse(self, x: float, y: float) -> tuple[float, float]:
@@ -202,9 +262,16 @@ def utm_zone_for(latitude: float, longitude: float) -> int:
     """The UTM zone number for a coordinate, with the standard exceptions.
 
     Handles the widened zone 32V over south-west Norway and the Svalbard
-    zones 31X/33X/35X/37X.
+    zones 31X/33X/35X/37X.  The antimeridian is canonicalized: ±180° (and
+    any wrap that lands on it) is the *western* edge of zone 1, so
+    ``utm_zone_for(0, 180.0) == utm_zone_for(0, -180.0) == 1``.
     """
     lon = math.remainder(longitude, 360.0)
+    # math.remainder rounds half-even at the ±180 tie, so the same physical
+    # meridian comes back as +180 or -180 depending on the input's sign and
+    # winding; fold both onto -180 (zone 1's western edge).
+    if lon == 180.0:
+        lon = -180.0
     zone = int((lon + 180.0) // 6.0) + 1
     zone = min(max(zone, 1), 60)
     if 56.0 <= latitude < 64.0 and 3.0 <= lon < 12.0:
@@ -253,6 +320,12 @@ class UTMProjection:
     def forward(self, latitude: float, longitude: float) -> tuple[float, float]:
         return self._tm.forward(latitude, longitude)  # type: ignore[attr-defined]
 
+    def forward_columns(
+        self, latitudes: Sequence[float], longitudes: Sequence[float]
+    ) -> tuple[array, array]:
+        """Bulk :meth:`forward`; bit-identical to a per-point loop."""
+        return self._tm.forward_columns(latitudes, longitudes)  # type: ignore[attr-defined]
+
     def inverse(self, x: float, y: float) -> tuple[float, float]:
         return self._tm.inverse(x, y)  # type: ignore[attr-defined]
 
@@ -281,6 +354,28 @@ class LocalTangentProjection:
         x = math.radians(longitude - self.ref_longitude) * self.radius_m * cos_ref
         y = math.radians(latitude - self.ref_latitude) * self.radius_m
         return (x, y)
+
+    def forward_columns(
+        self, latitudes: Sequence[float], longitudes: Sequence[float]
+    ) -> tuple[array, array]:
+        """Bulk :meth:`forward`; bit-identical to a per-point loop."""
+        n = len(latitudes)
+        if len(longitudes) != n:
+            raise ValueError(
+                f"column length mismatch: lats={n}, lons={len(longitudes)}"
+            )
+        cos_ref: float = self._cos_ref  # type: ignore[attr-defined]
+        radius = self.radius_m
+        ref_lat = self.ref_latitude
+        ref_lon = self.ref_longitude
+        radians = math.radians
+        xs = array("d", bytes(8 * n))
+        ys = array("d", bytes(8 * n))
+        for i in range(n):
+            # Same association order as forward() — bit-identical output.
+            xs[i] = radians(longitudes[i] - ref_lon) * radius * cos_ref
+            ys[i] = radians(latitudes[i] - ref_lat) * radius
+        return xs, ys
 
     def inverse(self, x: float, y: float) -> tuple[float, float]:
         cos_ref: float = self._cos_ref  # type: ignore[attr-defined]

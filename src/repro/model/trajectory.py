@@ -28,6 +28,7 @@ from typing import Iterable, Iterator, Sequence
 
 from ..geometry.metrics import DistanceMetric, deviation as metric_deviation
 from .point import PlanePoint
+from .projection import UTMProjection
 
 __all__ = [
     "Segment",
@@ -173,6 +174,15 @@ class CompressedTrajectory:
     #: every algorithm in :mod:`repro.compression` stamps its name here so
     #: evaluation output is self-describing.
     algorithm: str = ""
+    #: The UTM frame the plane coordinates live in, when known.  The
+    #: geodetic engine front-end stamps the zone it auto-selected from each
+    #: device's first fix here, and the storage layer
+    #: (:class:`~repro.storage.store.StoreSink` /
+    #: :func:`~repro.storage.codec.encode_trajectory`) propagates it into
+    #: every blob header, so a reader can unproject key points back to GPS
+    #: without out-of-band context.  ``None`` for trajectories compressed
+    #: from already-planar fixes.
+    frame: "UTMProjection | None" = None
     #: Extra bookkeeping from the producing algorithm (e.g. decision stats).
     info: dict = field(default_factory=dict, compare=False)
 

@@ -40,7 +40,13 @@ from .codec import (
     decode_trajectory,
     encode_trajectory,
 )
-from .query import QueryMatch, range_query, time_window_query
+from .query import (
+    QueryMatch,
+    geo_range_query,
+    geo_rect_to_plane,
+    range_query,
+    time_window_query,
+)
 from .store import RecordRef, StoreSink, TrajectoryStore, shard_store_sink
 
 __all__ = [
@@ -54,6 +60,8 @@ __all__ = [
     "TrajectoryStore",
     "decode_trajectory",
     "encode_trajectory",
+    "geo_range_query",
+    "geo_rect_to_plane",
     "range_query",
     "shard_store_sink",
     "time_window_query",

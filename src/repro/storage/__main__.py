@@ -5,6 +5,10 @@ Subcommands::
     # compress a simulated fleet straight to disk (engine -> StoreSink)
     PYTHONPATH=src python -m repro.storage ingest /tmp/fleet --devices 50 --fixes 200
 
+    # raw GPS in: geodetic ingestion, zone-stamped blobs
+    PYTHONPATH=src python -m repro.storage ingest /tmp/geo --devices 50 --fixes 200 \\
+        --geodetic --multi-zone
+
     # what's in a store
     PYTHONPATH=src python -m repro.storage stat /tmp/fleet
 
@@ -14,6 +18,9 @@ Subcommands::
     PYTHONPATH=src python -m repro.storage query /tmp/fleet --rect -200,-200,200,200 \\
         --t0 0 --t1 100 --mode approximate
 
+    # lat/lon answers out: geographic rectangle over a zone-stamped store
+    PYTHONPATH=src python -m repro.storage query /tmp/geo --geo-rect=41.28,11.9,41.32,12.0
+
     # drop tombstoned data, rewrite live records into fresh segments
     PYTHONPATH=src python -m repro.storage compact /tmp/fleet
 
@@ -21,7 +28,10 @@ Subcommands::
 repro.engine`` but streams every sealed trajectory through the
 :class:`~repro.storage.store.StoreSink` with ``collect=False`` — the
 process holds no compressed output in memory; the store directory is the
-result.
+result.  With ``--geodetic`` the simulation emits raw GPS fixes and the
+:class:`~repro.engine.geodetic.GeoStreamEngine` front-end auto-selects
+each device's UTM zone, so every stored blob is zone-stamped and the
+store answers ``--geo-rect`` queries.
 """
 
 from __future__ import annotations
@@ -33,40 +43,64 @@ import time
 from typing import Sequence
 
 from ..engine.core import StreamEngine
-from ..engine.simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
-from .query import range_query, time_window_query
+from ..engine.geodetic import GeoStreamEngine
+from ..engine.simulate import (
+    bqs_fleet_factory,
+    fleet_fixes,
+    gps_fleet_fixes,
+    iter_fix_batches,
+    iter_geo_fix_batches,
+)
+from .query import geo_range_query, range_query, time_window_query
 from .store import StoreSink, TrajectoryStore
 
 __all__ = ["main"]
 
 
-def _parse_rect(text: str):
+def _parse_rect(text: str, flag: str = "--rect"):
     parts = text.split(",")
     if len(parts) != 4:
-        raise SystemExit(
-            f"--rect expects x_min,y_min,x_max,y_max, got {text!r}"
+        names = (
+            "lat_min,lon_min,lat_max,lon_max"
+            if flag == "--geo-rect"
+            else "x_min,y_min,x_max,y_max"
         )
+        raise SystemExit(f"{flag} expects {names}, got {text!r}")
     try:
         rect = tuple(float(p) for p in parts)
     except ValueError:
-        raise SystemExit(f"--rect values must be numeric, got {text!r}")
+        raise SystemExit(f"{flag} values must be numeric, got {text!r}")
     return rect
 
 
 def _cmd_ingest(args) -> int:
-    ids, cols = fleet_fixes(args.devices, args.fixes, seed=args.seed)
-    total = len(ids)
+    if (args.multi_zone or args.noise_m) and not args.geodetic:
+        raise SystemExit("--multi-zone/--noise-m require --geodetic")
     factory = functools.partial(bqs_fleet_factory, args.epsilon)
     sink = StoreSink(args.store)
-    engine = StreamEngine(
-        factory,
+    engine_kwargs = dict(
         collect=False,
         sink=sink,
         max_devices=args.max_devices,
         idle_timeout=args.idle_timeout,
     )
+    if args.geodetic:
+        ids, ts, lats, lons = gps_fleet_fixes(
+            args.devices,
+            args.fixes,
+            seed=args.seed,
+            multi_zone=args.multi_zone,
+            noise_m=args.noise_m,
+        )
+        batches = iter_geo_fix_batches(ids, ts, lats, lons, args.batch)
+        engine = GeoStreamEngine(factory, **engine_kwargs)
+    else:
+        ids, cols = fleet_fixes(args.devices, args.fixes, seed=args.seed)
+        batches = iter_fix_batches(ids, cols, args.batch)
+        engine = StreamEngine(factory, **engine_kwargs)
+    total = len(ids)
     start = time.perf_counter()
-    for batch in iter_fix_batches(ids, cols, args.batch):
+    for batch in batches:
         engine.push_columns(*batch)
     engine.finish_all()
     wall = time.perf_counter() - start
@@ -77,6 +111,17 @@ def _cmd_ingest(args) -> int:
     disk = store.total_bytes()
     keys = store.key_point_count
     records = store.record_count
+    zones = (
+        sorted(
+            {
+                (r.utm_zone, r.utm_south)
+                for r in store.records()
+                if r.utm_zone is not None
+            }
+        )
+        if args.geodetic
+        else []
+    )
     sink.close()
     print(
         f"{total} fixes -> {records} trajectories, "
@@ -84,6 +129,14 @@ def _cmd_ingest(args) -> int:
         f"({disk / total:.2f} B/raw fix, {disk / max(keys, 1):.2f} B/key point) "
         f"in {wall:.3f}s = {total / wall:,.0f} fixes/s"
     )
+    if args.geodetic:
+        print(
+            "zones stamped: "
+            + (
+                ", ".join(f"{z}{'S' if s else 'N'}" for z, s in zones)
+                or "none"
+            )
+        )
     return 0
 
 
@@ -117,27 +170,49 @@ def _cmd_stat(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    if args.rect is None and args.t0 is None:
-        raise SystemExit("query needs --rect and/or --t0/--t1")
+    if args.rect is None and args.geo_rect is None and args.t0 is None:
+        raise SystemExit("query needs --rect, --geo-rect and/or --t0/--t1")
+    if args.rect is not None and args.geo_rect is not None:
+        raise SystemExit("--rect and --geo-rect are mutually exclusive")
     if (args.t0 is None) != (args.t1 is None):
         raise SystemExit("--t0 and --t1 must be given together")
     with TrajectoryStore(args.store) as store:
-        if args.rect is not None:
-            matches = range_query(
-                store,
-                _parse_rect(args.rect),
-                mode=args.mode,
-                t0=args.t0,
-                t1=args.t1,
-            )
-        else:
-            matches = time_window_query(store, args.t0, args.t1)
+        try:
+            if args.geo_rect is not None:
+                matches = geo_range_query(
+                    store,
+                    _parse_rect(args.geo_rect, "--geo-rect"),
+                    mode=args.mode,
+                    t0=args.t0,
+                    t1=args.t1,
+                )
+            elif args.rect is not None:
+                matches = range_query(
+                    store,
+                    _parse_rect(args.rect),
+                    mode=args.mode,
+                    t0=args.t0,
+                    t1=args.t1,
+                )
+            else:
+                matches = time_window_query(store, args.t0, args.t1)
+        except ValueError as exc:
+            # Degenerate/out-of-range rectangles and windows: a usage
+            # error, reported like every other one (not a traceback).
+            raise SystemExit(str(exc))
         for m in sorted(matches, key=lambda m: (m.device_id, m.ref.t_min)):
             flag = "definite" if m.definite else "possible"
+            where = f"{m.ref.segment}@{m.ref.offset}"
+            if m.geo_envelope is not None:
+                where = (
+                    f"lat=[{m.geo_envelope[0]:.5f}, {m.geo_envelope[2]:.5f}] "
+                    f"lon=[{m.geo_envelope[1]:.5f}, {m.geo_envelope[3]:.5f}] "
+                    f"zone={m.ref.utm_zone}{'S' if m.ref.utm_south else 'N'}  "
+                    + where
+                )
             print(
                 f"{m.device_id}  {flag}  t=[{m.ref.t_min:.3f}, "
-                f"{m.ref.t_max:.3f}]  keys={m.ref.n_key_points}  "
-                f"{m.ref.segment}@{m.ref.offset}"
+                f"{m.ref.t_max:.3f}]  keys={m.ref.n_key_points}  {where}"
             )
         devices = sorted({m.device_id for m in matches})
         print(
@@ -173,6 +248,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     p.add_argument("--batch", type=int, default=4096, help="fixes per batch")
     p.add_argument("--max-devices", type=int, default=None)
     p.add_argument("--idle-timeout", type=float, default=None)
+    p.add_argument(
+        "--geodetic",
+        action="store_true",
+        help="simulate raw GPS fixes and ingest through the geodetic "
+        "front-end (zone-stamped blobs)",
+    )
+    p.add_argument(
+        "--multi-zone",
+        action="store_true",
+        help="with --geodetic: fleet straddles two UTM zone boundaries",
+    )
+    p.add_argument(
+        "--noise-m",
+        type=float,
+        default=0.0,
+        help="with --geodetic: Gaussian GPS noise sigma in metres",
+    )
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("stat", help="summarize a store")
@@ -182,6 +274,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     p = sub.add_parser("query", help="time-window / spatial-range query")
     p.add_argument("store")
     p.add_argument("--rect", default=None, metavar="XMIN,YMIN,XMAX,YMAX")
+    p.add_argument(
+        "--geo-rect",
+        default=None,
+        metavar="LATMIN,LONMIN,LATMAX,LONMAX",
+        help="geographic rectangle in degrees (zone-stamped records are "
+        "each tested in their own UTM frame); use --geo-rect=... when "
+        "the first value is negative",
+    )
     p.add_argument("--t0", type=float, default=None)
     p.add_argument("--t1", type=float, default=None)
     p.add_argument(

@@ -111,6 +111,15 @@ def _append_svarint(buf: bytearray, value: int) -> None:
     _append_uvarint(buf, (value << 1) if value >= 0 else ((-value << 1) - 1))
 
 
+#: Longest legal varint: 10 bytes encode up to 70 payload bits, enough for
+#: any value this codec produces (quantum counts fit i64 by construction).
+#: Without the cap, a hostile run of continuation bytes (``b"\x80" * k``)
+#: would manufacture an arbitrarily large bigint — and downstream float
+#: arithmetic on it would escape as ``OverflowError`` instead of
+#: :class:`CodecError`.
+_MAX_VARINT_BYTES = 10
+
+
 def _read_uvarint(data, pos: int) -> Tuple[int, int]:
     result = 0
     shift = 0
@@ -124,6 +133,10 @@ def _read_uvarint(data, pos: int) -> Tuple[int, int]:
         if not byte & 0x80:
             return result, pos
         shift += 7
+        if shift >= 7 * _MAX_VARINT_BYTES:
+            raise CodecError(
+                f"varint longer than {_MAX_VARINT_BYTES} bytes"
+            )
 
 
 def _read_svarint(data, pos: int) -> Tuple[int, int]:
@@ -132,6 +145,15 @@ def _read_svarint(data, pos: int) -> Tuple[int, int]:
 
 
 # -- encode ------------------------------------------------------------------
+
+
+#: Signed range a column value (absolute or delta) may occupy on the wire:
+#: zig-zag into the decoder's 10-byte (70-bit) varint cap.  The encoder
+#: enforces it so every blob it produces is decodable — without the guard,
+#: an extreme coordinate/quantum combination would encode fine and then be
+#: rejected by its own reader.
+_SVARINT_MIN = -(1 << 69)
+_SVARINT_MAX = (1 << 69) - 1
 
 
 def _encode_column(buf: bytearray, values, quantum: float) -> Tuple[int, int]:
@@ -144,15 +166,21 @@ def _encode_column(buf: bytearray, values, quantum: float) -> Tuple[int, int]:
     for v in values:
         q = round(v / quantum)  # quantize() inlined — keep the two in sync
         if first:
-            _append_svarint(buf, q)
+            delta = q
             first = False
             q_min = q_max = q
         else:
-            _append_svarint(buf, q - prev)
+            delta = q - prev
             if q < q_min:
                 q_min = q
             elif q > q_max:
                 q_max = q
+        if not _SVARINT_MIN <= delta <= _SVARINT_MAX:
+            raise ValueError(
+                f"value {v!r} at quantum {quantum!r} needs {delta} quanta "
+                "of delta — beyond the codec's 70-bit wire range"
+            )
+        _append_svarint(buf, delta)
         prev = q
     return q_min, q_max
 
@@ -168,8 +196,10 @@ def encode_trajectory(
 
     ``projection`` optionally stamps the UTM zone/hemisphere the plane
     coordinates live in, so a reader can unproject decoded key points back
-    to GPS without out-of-band context.  ``z`` is not stored (the codec
-    covers the 2-D hot path).
+    to GPS without out-of-band context; when omitted, the trajectory's own
+    :attr:`~repro.model.trajectory.CompressedTrajectory.frame` (stamped by
+    the geodetic engine front-end) is used.  ``z`` is not stored (the
+    codec covers the 2-D hot path).
     """
     return _encode_with_bounds(
         trajectory,
@@ -190,6 +220,8 @@ def _encode_with_bounds(
     ``(t_min, t_max, x_min, x_max, y_min, y_max)`` — the store derives its
     index envelope from the same quantization pass that produced the
     bytes, so the two can never disagree."""
+    if projection is None:
+        projection = trajectory.frame
     if not (xy_quantum > 0.0 and math.isfinite(xy_quantum)):
         raise ValueError(f"xy_quantum must be positive and finite, got {xy_quantum!r}")
     if not (t_quantum > 0.0 and math.isfinite(t_quantum)):
@@ -270,13 +302,19 @@ class DecodedTrajectory:
         return plane_points_from_flat(flat)
 
     def to_trajectory(self) -> CompressedTrajectory:
-        """Rebuild the :class:`CompressedTrajectory` (at quantum precision)."""
+        """Rebuild the :class:`CompressedTrajectory` (at quantum precision).
+
+        The stamped UTM frame, if any, comes back as the trajectory's
+        ``frame``, so re-encoding a decoded blob stays byte-identical even
+        for zone-stamped blobs.
+        """
         return CompressedTrajectory(
             key_points=tuple(self.key_points()),
             original_count=self.original_count,
             metric=self.metric,
             tolerance=self.epsilon,
             algorithm=self.algorithm,
+            frame=self.projection(),
         )
 
 
@@ -284,10 +322,17 @@ def _decode_column(data, pos: int, n: int, quantum: float):
     out = array("d")
     append = out.append
     q = 0
-    for i in range(n):
-        delta, pos = _read_svarint(data, pos)
-        q = delta if i == 0 else q + delta
-        append(q * quantum)
+    try:
+        for i in range(n):
+            delta, pos = _read_svarint(data, pos)
+            q = delta if i == 0 else q + delta
+            append(q * quantum)
+    except OverflowError as exc:
+        # Capped varints still admit quantum counts up to ~2^70, and the
+        # quantum itself is an arbitrary f64 from the header — a corrupt
+        # combination can overflow the float product.  That is bad input,
+        # not an arithmetic bug.
+        raise CodecError(f"column value overflows a float: {exc}") from exc
     return out, pos
 
 
@@ -338,6 +383,14 @@ def decode_trajectory(data: bytes | bytearray | memoryview) -> DecodedTrajectory
         pos += 2
         if not 1 <= utm_zone <= 60:
             raise CodecError(f"UTM zone out of range: {utm_zone}")
+    # A key point costs at least one varint byte per column, so a claimed
+    # count beyond a third of the remaining bytes cannot be honest — catch
+    # it here instead of looping over a fabricated multi-gigabyte n.
+    if 3 * n > len(data) - pos:
+        raise CodecError(
+            f"claimed {n} key points but only {len(data) - pos} column "
+            "bytes remain"
+        )
     ts, pos = _decode_column(data, pos, n, t_quantum)
     xs, pos = _decode_column(data, pos, n, xy_quantum)
     ys, pos = _decode_column(data, pos, n, xy_quantum)

@@ -57,13 +57,22 @@ from .codec import (
 __all__ = ["RecordRef", "TrajectoryStore", "StoreSink", "shard_store_sink"]
 
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
-_ENVELOPE = struct.Struct("<7d")  # t_min t_max x_min x_max y_min y_max epsilon
+# t_min t_max x_min x_max y_min y_max epsilon, then the UTM frame the
+# coordinates live in: zone (0 = unstamped / already planar) and
+# hemisphere.  Keeping the frame in the envelope — not just the blob
+# header — lets geographic queries project a lat/lon rectangle into each
+# candidate record's own zone without decoding a single blob.
+_ENVELOPE = struct.Struct("<7d2B")
 
 _RT_TRAJECTORY = 1
 _RT_TOMBSTONE = 2
 
 _MANIFEST = "manifest.json"
 _SEGMENT_FMT = "seg-{:08d}.log"
+#: On-disk record format.  2 added the UTM zone/hemisphere bytes to the
+#: envelope; stores written at format 1 must be re-ingested (the store is
+#: a derived artifact of its input stream, so there is no migration).
+_FORMAT = 2
 
 #: Default segment roll threshold; small enough that compaction and tail
 #: damage touch bounded data, large enough that a fleet run stays in a
@@ -89,6 +98,17 @@ class RecordRef:
     #: The trajectory's declared error bound (``inf`` when unbounded),
     #: mirrored out of the blob header so the query screen never decodes.
     epsilon: float
+    #: UTM zone the plane coordinates live in (``None`` for records stored
+    #: from already-planar fixes) and its hemisphere — the frame geographic
+    #: queries project their lat/lon rectangle into, per record.
+    utm_zone: int | None = None
+    utm_south: bool = False
+
+    def projection(self) -> UTMProjection | None:
+        """The stamped UTM frame, if any (mirrors the blob header)."""
+        if self.utm_zone is None:
+            return None
+        return UTMProjection(zone=self.utm_zone, south=self.utm_south)
 
 
 class TrajectoryStore:
@@ -131,6 +151,13 @@ class TrajectoryStore:
         if manifest_path.exists():
             with open(manifest_path, "r", encoding="utf-8") as handle:
                 doc = json.load(handle)
+            fmt = int(doc.get("format", 1))
+            if fmt != _FORMAT:
+                raise ValueError(
+                    f"{self.directory}: store format {fmt} is not supported "
+                    f"(this build reads/writes format {_FORMAT}; re-ingest "
+                    "the source stream)"
+                )
             self._segments = [
                 name for name in doc.get("segments", [])
                 if (self.directory / name).exists()
@@ -194,10 +221,12 @@ class TrajectoryStore:
             raise CodecError(f"unknown record type {rtype}")
         if p + _ENVELOPE.size > len(payload):
             raise CodecError("truncated envelope")
-        t_min, t_max, x_min, x_max, y_min, y_max, epsilon = (
+        t_min, t_max, x_min, x_max, y_min, y_max, epsilon, zone, south = (
             _ENVELOPE.unpack_from(payload, p)
         )
         p += _ENVELOPE.size
+        if zone > 60:
+            raise CodecError(f"UTM zone out of range: {zone}")
         n_keys, p = _read_uvarint(payload, p)
         ref = RecordRef(
             device_id=device_id,
@@ -212,6 +241,8 @@ class TrajectoryStore:
             y_min=y_min,
             y_max=y_max,
             epsilon=epsilon,
+            utm_zone=zone if zone else None,
+            utm_south=bool(south),
         )
         self._records.append(ref)
         self._by_device.setdefault(device_id, []).append(ref)
@@ -222,7 +253,11 @@ class TrajectoryStore:
         tmp = self.directory / (_MANIFEST + ".tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(
-                {"segments": self._segments, "next_segment": self._next_segment},
+                {
+                    "format": _FORMAT,
+                    "segments": self._segments,
+                    "next_segment": self._next_segment,
+                },
                 handle,
             )
             handle.write("\n")
@@ -290,11 +325,16 @@ class TrajectoryStore:
         """Encode and append one trajectory; returns its index entry.
 
         The envelope is computed from the *quantized* coordinates, so the
-        index agrees exactly with what :meth:`read` will decode.
+        index agrees exactly with what :meth:`read` will decode.  The UTM
+        frame — ``projection`` when given, else the trajectory's own
+        ``frame`` (stamped by the geodetic engine) — goes into both the
+        blob header and the index envelope.
         """
         key_points = trajectory.key_points
         if not key_points:
             raise ValueError("cannot store an empty trajectory (no key points)")
+        if projection is None:
+            projection = trajectory.frame
         blob, bounds = _encode_with_bounds(
             trajectory,
             xy_quantum=xy_quantum,
@@ -316,7 +356,15 @@ class TrajectoryStore:
         _append_uvarint(payload, len(device_bytes))
         payload += device_bytes
         payload += _ENVELOPE.pack(
-            t_min, t_max, x_min, x_max, y_min, y_max, trajectory.tolerance
+            t_min,
+            t_max,
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+            trajectory.tolerance,
+            projection.zone if projection is not None else 0,
+            1 if projection is not None and projection.south else 0,
         )
         _append_uvarint(payload, len(key_points))
         _append_uvarint(payload, len(blob))
@@ -336,6 +384,8 @@ class TrajectoryStore:
             y_min=y_min,
             y_max=y_max,
             epsilon=trajectory.tolerance,
+            utm_zone=projection.zone if projection is not None else None,
+            utm_south=projection.south if projection is not None else False,
         )
         self._records.append(ref)
         self._by_device.setdefault(device_id, []).append(ref)
@@ -527,6 +577,8 @@ class TrajectoryStore:
                         y_min=ref.y_min,
                         y_max=ref.y_max,
                         epsilon=ref.epsilon,
+                        utm_zone=ref.utm_zone,
+                        utm_south=ref.utm_south,
                     )
                 )
             if handle is not None:
@@ -610,6 +662,12 @@ class StoreSink:
     memory (pair with ``collect=False``).  Pass a directory to let the
     sink own (open and close) its store, or an open
     :class:`TrajectoryStore` to share one the caller manages.
+
+    Zone stamping needs no configuration: trajectories sealed by the
+    geodetic engine carry their UTM frame, and :meth:`TrajectoryStore.
+    append` writes it into the blob and the index envelope.  An explicit
+    ``projection=`` overrides the per-trajectory frames (for streams whose
+    planar coordinates are known to share one zone).
 
     Device ids are stringified on write: the store keys records by UTF-8
     string, which round-trips the engine's string ids unchanged.

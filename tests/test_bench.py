@@ -121,12 +121,14 @@ class TestCLI:
                 "--baseline", "pre_pr_bqs_pps=1234.5",
                 "--no-fleet",
                 "--no-storage",
+                "--no-geodetic",
                 "--out", str(out),
             ]
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 3
+        assert doc["schema"] == 4
+        assert doc["geodetic"] is None
         assert doc["baselines"] == {"pre_pr_bqs_pps": 1234.5}
         assert doc["workloads"]["random_walk"]["points"] == 400
         keys = {(r["workload"], r["algorithm"]) for r in doc["results"]}
@@ -149,6 +151,7 @@ class TestCLI:
                 "--algorithms", "uniform",
                 "--no-fleet",
                 "--no-storage",
+                "--no-geodetic",
                 "--out", str(out),
             ]
         )
@@ -369,6 +372,77 @@ class TestStorageBench:
         new.write_text(json.dumps(doc("b" * 16)))
         assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
         assert "codec output moved" in capsys.readouterr().out
+
+    def test_geodetic_record_fields_and_bracket_audit(self):
+        from repro.bench.geodetic import run_geodetic_bench
+
+        projection_records, fleet_records = run_geodetic_bench(
+            points=500,
+            fleet_devices=8,
+            fleet_fixes_per_device=40,
+            repeats=1,
+        )
+        assert {p.projection for p in projection_records} == {
+            "utm",
+            "local_tangent",
+        }
+        for p in projection_records:
+            assert p.points_per_sec > 0
+        assert [r.variant for r in fleet_records] == [
+            "single_zone",
+            "multi_zone",
+            "noisy_multi_zone",
+        ]
+        for r in fleet_records:
+            assert r.ingest_fixes_per_sec > 0
+            assert r.records == 8
+            assert len(r.query_digest) == 16
+            # The bracket audit ran inside (BenchError otherwise).
+            assert (
+                r.definite_devices
+                <= r.truth_devices
+                <= r.exact_devices
+                <= r.approx_devices
+            )
+        assert fleet_records[0].zones == ["32N"]
+        assert len(fleet_records[1].zones) == 4  # both boundaries, both hemis
+
+    def test_compare_flags_geodetic_behaviour(self, tmp_path, capsys):
+        def doc(digest, zones=("32N", "33N"), ips=1000.0):
+            return {
+                "schema": 4,
+                "results": [],
+                "geodetic": {
+                    "projection": [],
+                    "fleets": [
+                        {
+                            "variant": "multi_zone",
+                            "devices": 8,
+                            "fixes_per_device": 40,
+                            "ingest_fixes_per_sec": ips,
+                            "zones": list(zones),
+                            "query_digest": digest,
+                        }
+                    ],
+                },
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(doc("a" * 16)))
+        new.write_text(json.dumps(doc("a" * 16)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        capsys.readouterr()
+        new.write_text(json.dumps(doc("b" * 16)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+        assert "geodetic query results moved" in capsys.readouterr().out
+        new.write_text(json.dumps(doc("a" * 16, zones=("31N",))))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+        assert "stamped zones changed" in capsys.readouterr().out
+        # Timing-only deltas warn but do not fail.
+        new.write_text(json.dumps(doc("a" * 16, ips=100.0)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        assert "ingest throughput fell" in capsys.readouterr().out
 
     def test_compare_storage_timing_only_warns(self, tmp_path, capsys):
         def doc(ips):

@@ -37,6 +37,7 @@ from repro.storage import (
 )
 
 FUZZ_CASES = int(os.environ.get("CODEC_FUZZ_CASES", "30"))
+CORRUPT_CASES = int(os.environ.get("CODEC_CORRUPT_CASES", "60"))
 
 
 def _compressed(n=2000, seed=7, epsilon=10.0):
@@ -133,6 +134,23 @@ class TestErrors:
         with pytest.raises(ValueError):
             encode_trajectory(ct, t_quantum=-1.0)
 
+    def test_encoder_rejects_out_of_wire_range_values(self):
+        """Regression: the encoder must refuse what the capped decoder
+        cannot read — an extreme coordinate/quantum combination used to
+        encode fine and then fail its own round trip."""
+        huge = CompressedTrajectory(
+            key_points=(PlanePoint(9e18, 0.0, 0.0),), original_count=1
+        )
+        with pytest.raises(ValueError, match="70-bit wire range"):
+            encode_trajectory(huge, xy_quantum=0.001)
+        # A large-but-legal value still round-trips.
+        big = CompressedTrajectory(
+            key_points=(PlanePoint(2.0**59, 0.0, 0.0),), original_count=1
+        )
+        blob = encode_trajectory(big, xy_quantum=1.0)
+        dec = decode_trajectory(blob)
+        assert dec.columns.xs[0] == 2.0**59
+
 
 class TestFuzz:
     @pytest.mark.parametrize("case", range(FUZZ_CASES))
@@ -180,6 +198,118 @@ class TestFuzz:
             )
             == blob
         )
+
+
+class TestCorruptFuzz:
+    """Only :class:`CodecError` may escape ``decode_trajectory`` — ever.
+
+    The documented contract ("raises CodecError on bad input") used to be
+    violated by varint abuse: a long continuation-byte run manufactured a
+    huge bigint and the ``q * quantum`` float product escaped as
+    ``OverflowError``.  These tests hammer truncations, bit flips and
+    continuation runs over valid encodings and accept exactly two
+    outcomes: a successful decode (damage can land in benign places or
+    cancel out) or ``CodecError``.
+    """
+
+    def _try_decode(self, blob):
+        """Decode, asserting nothing but CodecError can escape."""
+        try:
+            decode_trajectory(blob)
+        except CodecError:
+            pass
+
+    def _valid_blobs(self, rng):
+        n = rng.choice((1, 2, 5, rng.randrange(3, 60)))
+        t = rng.uniform(0.0, 1e6)
+        points = []
+        for _ in range(n):
+            points.append(
+                PlanePoint(rng.uniform(-1e4, 1e4), rng.uniform(-1e4, 1e4), t)
+            )
+            t += rng.uniform(0.0, 120.0)
+        ct = CompressedTrajectory(
+            key_points=tuple(points),
+            original_count=n * 10,
+            tolerance=10.0,
+            algorithm="bqs",
+        )
+        projection = (
+            UTMProjection(zone=rng.randrange(1, 61), south=rng.random() < 0.5)
+            if rng.random() < 0.5
+            else None
+        )
+        return encode_trajectory(ct, projection=projection)
+
+    def test_overflow_regression(self):
+        """The confirmed bug, verbatim: a continuation-byte run in a column
+        escaped as ``OverflowError`` ("int too large to convert to
+        float"); now it is a capped-varint CodecError."""
+        blob = encode_trajectory(_compressed(200, seed=5))
+        hostile = blob[:60] + b"\x80" * 200 + b"\x01"
+        with pytest.raises(CodecError):
+            decode_trajectory(hostile)
+
+    def test_huge_varint_in_every_position(self):
+        """Splice the hostile run at every byte offset of a valid blob;
+        whatever field it lands in, only CodecError escapes."""
+        blob = encode_trajectory(_compressed(100, seed=6))
+        run = b"\x80" * 200 + b"\x01"
+        for offset in range(0, len(blob), 7):
+            self._try_decode(blob[:offset] + run + blob[offset:])
+            self._try_decode(blob[:offset] + run)
+
+    def test_fabricated_key_point_count(self):
+        """A header claiming more key points than the blob could possibly
+        hold (≥3 bytes each) must fail fast, not loop gigabytes."""
+        from repro.storage.codec import _F64, _append_uvarint
+
+        blob = bytearray(b"BQTC")
+        blob.append(1)  # version
+        blob.append(0)  # flags
+        blob.append(0)  # metric id
+        blob.append(0)  # empty algorithm name
+        blob += _F64.pack(10.0)
+        _append_uvarint(blob, 1000)  # original_count
+        _append_uvarint(blob, 1 << 40)  # n: absurd
+        blob += _F64.pack(0.01)
+        blob += _F64.pack(0.001)
+        blob += b"\x00" * 64  # nowhere near 3 * 2^40 column bytes
+        with pytest.raises(CodecError):
+            decode_trajectory(bytes(blob))
+
+    @pytest.mark.parametrize("case", range(CORRUPT_CASES))
+    def test_random_corruptions(self, case):
+        rng = random.Random(31_000 + case)
+        blob = self._valid_blobs(rng)
+        kind = rng.randrange(4)
+        if kind == 0:  # truncation: always an error
+            cut = rng.randrange(len(blob))
+            with pytest.raises(CodecError):
+                decode_trajectory(blob[:cut])
+        elif kind == 1:  # bit flips
+            corrupt = bytearray(blob)
+            for _ in range(rng.choice((1, 1, 2, 8))):
+                corrupt[rng.randrange(len(corrupt))] ^= 1 << rng.randrange(8)
+            self._try_decode(bytes(corrupt))
+        elif kind == 2:  # continuation-byte run spliced at a random offset
+            offset = rng.randrange(len(blob) + 1)
+            run = b"\x80" * rng.choice((3, 11, 40, 200))
+            terminated = rng.random() < 0.5
+            self._try_decode(
+                blob[:offset]
+                + run
+                + (b"\x01" if terminated else b"")
+                + blob[offset:]
+            )
+        else:  # random garbage tail / swapped halves
+            if rng.random() < 0.5:
+                self._try_decode(
+                    blob + bytes(rng.randrange(256) for _ in range(9))
+                )
+            else:
+                mid = len(blob) // 2
+                self._try_decode(blob[mid:] + blob[:mid])
 
 
 class TestGeodetic:

@@ -1,0 +1,185 @@
+"""Zone-selection and bulk-projection tests (the geodetic hardening sweep).
+
+Three layers:
+
+* ``utm_zone_for`` properties — the antimeridian canonicalization bugfix
+  (±180° must be the same physical meridian and therefore the same
+  zone), every zone boundary, and the Norway/Svalbard exceptions.
+* Forward/inverse round trips at the awkward places — zone edges, the
+  antimeridian, the exception bands — under 1 mm.
+* ``forward_columns`` — the vectorized path must be *bit-identical* to a
+  per-point ``forward`` loop on every projection (the geodetic engine's
+  determinism rests on it).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.model.projection import (
+    LocalTangentProjection,
+    TransverseMercator,
+    UTMProjection,
+    utm_zone_for,
+)
+
+
+class TestZoneSelection:
+    def test_antimeridian_is_one_zone(self):
+        """The confirmed bug: +180 and -180 are the same meridian and must
+        agree (both are zone 1's western edge)."""
+        assert utm_zone_for(0.0, 180.0) == 1
+        assert utm_zone_for(0.0, -180.0) == 1
+        assert utm_zone_for(0.0, 180.0) == utm_zone_for(0.0, -180.0)
+
+    @pytest.mark.parametrize("winding", (-720.0, -360.0, 0.0, 360.0, 720.0))
+    def test_antimeridian_survives_winding(self, winding):
+        assert utm_zone_for(10.0, 180.0 + winding) == 1
+        assert utm_zone_for(10.0, -180.0 + winding) == 1
+
+    @pytest.mark.parametrize("lat", (-45.0, 0.0, 45.0))
+    def test_every_zone_boundary(self, lat):
+        """Each boundary meridian belongs to the zone east of it, and a
+        nudge west lands in the zone west of it."""
+        for zone in range(1, 61):
+            west_edge = zone * 6.0 - 186.0
+            assert utm_zone_for(lat, west_edge) == zone
+            east_of = utm_zone_for(lat, west_edge + 3.0)
+            assert east_of == zone
+            if zone > 1:
+                assert utm_zone_for(lat, west_edge - 1e-9) == zone - 1
+
+    def test_zone_matches_central_meridian(self):
+        """A coordinate is always within 3° of its zone's central meridian
+        (exception bands aside)."""
+        rng = random.Random(77)
+        for _ in range(300):
+            lat = rng.uniform(-55.9, 55.9)  # below the exception bands
+            lon = rng.uniform(-180.0, 180.0)
+            zone = utm_zone_for(lat, lon)
+            cm = zone * 6.0 - 183.0
+            assert abs(lon - cm) <= 3.0 + 1e-9
+
+    def test_norway_32v_widened(self):
+        assert utm_zone_for(60.0, 4.0) == 32  # would be 31 without the rule
+        assert utm_zone_for(56.0, 3.0) == 32
+        assert utm_zone_for(63.999, 11.999) == 32
+        # Just outside the band in each direction.
+        assert utm_zone_for(55.999, 4.0) == 31
+        assert utm_zone_for(64.0, 4.0) == 31
+        assert utm_zone_for(60.0, 2.999) == 31
+        assert utm_zone_for(60.0, 12.0) == 33
+
+    @pytest.mark.parametrize(
+        "lon,zone",
+        [(0.0, 31), (8.999, 31), (9.0, 33), (20.999, 33), (21.0, 35),
+         (32.999, 35), (33.0, 37), (41.999, 37)],
+    )
+    def test_svalbard_bands(self, lon, zone):
+        assert utm_zone_for(75.0, lon) == zone
+        assert utm_zone_for(84.0, lon) == zone
+        # South of 72° the standard grid resumes.
+        assert utm_zone_for(71.999, lon) == int((lon + 180.0) // 6.0) + 1
+
+    def test_for_coordinate_hemisphere(self):
+        assert UTMProjection.for_coordinate(41.0, 12.0) == UTMProjection(
+            zone=33, south=False
+        )
+        assert UTMProjection.for_coordinate(-23.0, -48.0) == UTMProjection(
+            zone=23, south=True
+        )
+
+
+class TestZoneEdgeRoundTrips:
+    """Forward/inverse closure under 1 mm at the awkward coordinates."""
+
+    def _assert_round_trip(self, projection, lat, lon, tol_m=1e-3):
+        x, y = projection.forward(lat, lon)
+        lat2, lon2 = projection.inverse(x, y)
+        x2, y2 = projection.forward(lat2, lon2)
+        assert math.hypot(x2 - x, y2 - y) <= tol_m, (lat, lon)
+        # Degrees agree too (1 mm ≈ 9e-9 degrees of latitude).
+        assert abs(lat2 - lat) <= 1e-7
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_random_zone_edges(self, case):
+        rng = random.Random(5200 + case)
+        zone = rng.randrange(1, 61)
+        south = rng.random() < 0.5
+        projection = UTMProjection(zone=zone, south=south)
+        cm = zone * 6.0 - 183.0
+        # Edges of the nominal strip, plus a boundary-crossing overshoot.
+        lon = cm + rng.choice((-3.0, 3.0, -3.5, 3.5, rng.uniform(-3, 3)))
+        lat = rng.uniform(2.0, 80.0) * (-1.0 if south else 1.0)
+        self._assert_round_trip(projection, lat, lon)
+
+    def test_antimeridian_round_trip(self):
+        for lon in (180.0, -180.0, 179.999, -179.999):
+            projection = UTMProjection.for_coordinate(12.0, lon)
+            assert projection.zone in (1, 60)
+            self._assert_round_trip(projection, 12.0, lon)
+
+    def test_exception_band_round_trips(self):
+        for lat, lon in ((59.9, 5.1), (75.0, 10.0), (80.0, 34.0)):
+            projection = UTMProjection.for_coordinate(lat, lon)
+            self._assert_round_trip(projection, lat, lon)
+
+    def test_equator_crossing(self):
+        north = UTMProjection(zone=33, south=False)
+        south = UTMProjection(zone=33, south=True)
+        xn, yn = north.forward(0.001, 15.0)
+        xs, ys = south.forward(0.001, 15.0)
+        assert xn == xs
+        assert ys - yn == pytest.approx(10_000_000.0)
+        self._assert_round_trip(south, -0.001, 15.0)
+
+
+class TestForwardColumns:
+    """The bulk path must be bit-identical to the scalar path."""
+
+    def _columns(self, rng, n, lat0, lon0, spread):
+        lats = [lat0 + rng.uniform(-spread, spread) for _ in range(n)]
+        lons = [lon0 + rng.uniform(-spread, spread) for _ in range(n)]
+        return lats, lons
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_utm_bit_identical(self, case):
+        rng = random.Random(6400 + case)
+        zone = rng.randrange(1, 61)
+        south = rng.random() < 0.5
+        projection = UTMProjection(zone=zone, south=south)
+        lat0 = rng.uniform(-70, -5) if south else rng.uniform(5, 70)
+        lats, lons = self._columns(
+            rng, 200, lat0, zone * 6.0 - 183.0, rng.choice((0.01, 1.0, 3.0))
+        )
+        xs, ys = projection.forward_columns(lats, lons)
+        assert len(xs) == len(ys) == 200
+        for i in range(200):
+            x, y = projection.forward(lats[i], lons[i])
+            assert xs[i] == x and ys[i] == y
+
+    def test_transverse_mercator_bit_identical(self):
+        rng = random.Random(991)
+        tm = TransverseMercator(central_meridian_deg=9.0, scale=0.9996)
+        lats, lons = self._columns(rng, 100, 48.0, 9.0, 2.0)
+        xs, ys = tm.forward_columns(lats, lons)
+        for i in range(100):
+            assert (xs[i], ys[i]) == tm.forward(lats[i], lons[i])
+
+    def test_local_tangent_bit_identical(self):
+        rng = random.Random(992)
+        projection = LocalTangentProjection(47.36, 8.55)
+        lats, lons = self._columns(rng, 100, 47.36, 8.55, 0.05)
+        xs, ys = projection.forward_columns(lats, lons)
+        for i in range(100):
+            assert (xs[i], ys[i]) == projection.forward(lats[i], lons[i])
+
+    def test_empty_and_mismatched(self):
+        projection = UTMProjection(zone=31)
+        xs, ys = projection.forward_columns([], [])
+        assert len(xs) == 0 and len(ys) == 0
+        with pytest.raises(ValueError):
+            projection.forward_columns([1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            LocalTangentProjection(0.0, 0.0).forward_columns([1.0], [])

@@ -465,3 +465,37 @@ class TestCLI:
             storage_main(["query", path, "--t0", "1"])
         with pytest.raises(SystemExit):
             storage_main(["query", path, "--rect", "1,2,3"])
+
+
+class TestStoreFormat:
+    """The on-disk format marker (format 2 added zone-stamped envelopes)."""
+
+    def test_manifest_carries_format(self, tmp_path):
+        import json as _json
+
+        with TrajectoryStore(tmp_path / "s") as store:
+            store.append("d", _trajectory(_walk(0.0, 0.0)))
+        doc = _json.loads((tmp_path / "s" / "manifest.json").read_text())
+        assert doc["format"] == 2
+
+    def test_old_format_rejected_with_clear_error(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "old"
+        with TrajectoryStore(path) as store:
+            store.append("d", _trajectory(_walk(0.0, 0.0)))
+        doc = _json.loads((path / "manifest.json").read_text())
+        del doc["format"]  # what a format-1 store's manifest looks like
+        (path / "manifest.json").write_text(_json.dumps(doc))
+        with pytest.raises(ValueError, match="format 1 is not supported"):
+            TrajectoryStore(path)
+
+    def test_unstamped_records_have_no_zone(self, tmp_path):
+        with TrajectoryStore(tmp_path / "s") as store:
+            ref = store.append("d", _trajectory(_walk(0.0, 0.0)))
+            assert ref.utm_zone is None and ref.utm_south is False
+            assert ref.projection() is None
+            assert store.read(ref).utm_zone is None
+        with TrajectoryStore(tmp_path / "s") as store:
+            (ref,) = store.records()
+            assert ref.utm_zone is None and ref.projection() is None
