@@ -38,7 +38,7 @@ from .compare import diff_benches, format_diff, load_bench_file
 from .fleet import run_fleet_bench
 from .geodetic import run_geodetic_bench
 from .harness import default_factories, run_bench
-from .storage import run_storage_bench
+from .storage import run_scale_bench, run_storage_bench
 from .workloads import WORKLOADS, make_workload
 
 __all__ = ["main"]
@@ -48,6 +48,10 @@ _SMOKE_FLEET_DEVICES = 25
 _SMOKE_FLEET_FIXES = 80
 _SMOKE_STORAGE_DEVICES = 15
 _SMOKE_STORAGE_FIXES = 60
+#: Store sizes for the open-time scale stage; the smoke run keeps one
+#: small size so CI still pins the match digest and the parity check.
+_SCALE_SIZES = (10_000, 100_000, 1_000_000)
+_SMOKE_SCALE_SIZES = (5_000,)
 
 
 def _parse_baseline(pairs: Sequence[str]) -> dict:
@@ -113,6 +117,25 @@ def _format_storage(r) -> str:
         f"(brute {r.range_query_brute_seconds * 1e3:.2f} ms) "
         f"digest {r.query_digest}",
     ]
+    return "\n".join(lines)
+
+
+def _format_scale(records) -> str:
+    header = (
+        f"{'scale records':<14}{'segs':>6}{'MB':>8}{'open idx':>10}"
+        f"{'open scan':>11}{'speedup':>9}{'q idx':>9}{'q scan':>9}  digest"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.records:<14,}{r.segments:>6}{r.store_bytes / 1e6:>8.1f}"
+            f"{r.open_indexed_seconds * 1e3:>8.1f}ms"
+            f"{r.open_scan_seconds * 1e3:>9.1f}ms"
+            f"{r.open_speedup:>8.0f}x"
+            f"{r.query_indexed_seconds * 1e3:>7.1f}ms"
+            f"{r.query_scan_seconds * 1e3:>7.1f}ms"
+            f"  {r.match_digest}"
+        )
     return "\n".join(lines)
 
 
@@ -221,6 +244,23 @@ def main_run(argv: Sequence[str]) -> int:
         "fleet ingestion + lat/lon query latency)",
     )
     parser.add_argument(
+        "--no-scale",
+        action="store_true",
+        help="skip the store-scale benchmark (sidecar vs scan open time)",
+    )
+    parser.add_argument(
+        "--scale-sizes",
+        default=",".join(str(s) for s in _SCALE_SIZES),
+        help="comma-separated store sizes for the scale stage (smoke: "
+        f"{','.join(str(s) for s in _SMOKE_SCALE_SIZES)})",
+    )
+    parser.add_argument(
+        "--scale-devices",
+        type=int,
+        default=500,
+        help="devices in the synthetic scale-stage stores",
+    )
+    parser.add_argument(
         "--fleet-devices",
         type=int,
         default=200,
@@ -269,6 +309,21 @@ def main_run(argv: Sequence[str]) -> int:
         )
     if any(w < 1 for w in fleet_workers):
         raise SystemExit("--fleet-workers values must be >= 1")
+
+    if args.smoke:
+        scale_sizes = list(_SMOKE_SCALE_SIZES)
+    else:
+        try:
+            scale_sizes = [
+                int(s) for s in args.scale_sizes.split(",") if s.strip()
+            ]
+        except ValueError:
+            raise SystemExit(
+                f"--scale-sizes expects comma-separated ints, got "
+                f"{args.scale_sizes!r}"
+            )
+    if any(s < 1 for s in scale_sizes):
+        raise SystemExit("--scale-sizes values must be >= 1")
 
     workload_points = {}
     for name in workload_names:
@@ -330,6 +385,14 @@ def main_run(argv: Sequence[str]) -> int:
             progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
         )
 
+    scale_records = []
+    if not args.no_scale:
+        scale_records = run_scale_bench(
+            sizes=tuple(scale_sizes),
+            devices=args.scale_devices,
+            progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+        )
+
     geo_projection = []
     geo_fleets = []
     if not args.no_geodetic:
@@ -348,7 +411,7 @@ def main_run(argv: Sequence[str]) -> int:
 
     out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
     document = {
-        "schema": 4,
+        "schema": 5,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -365,6 +428,7 @@ def main_run(argv: Sequence[str]) -> int:
         "storage": (
             storage_record.to_json() if storage_record is not None else None
         ),
+        "scale": [r.to_json() for r in scale_records],
         "geodetic": (
             {
                 "projection": [p.to_json() for p in geo_projection],
@@ -385,6 +449,9 @@ def main_run(argv: Sequence[str]) -> int:
     if storage_record is not None:
         print()
         print(_format_storage(storage_record))
+    if scale_records:
+        print()
+        print(_format_scale(scale_records))
     if geo_fleets:
         print()
         print(_format_geodetic(geo_projection, geo_fleets))

@@ -166,6 +166,55 @@ def diff_benches(
             }
         )
 
+    # Scale section (schema 5+): synthetic stores joined on size.  The
+    # workload is deterministic, so the match digest pins the candidate
+    # selection of the mmap fast path — drift is a pruning or ordering
+    # bug, never noise.  The throughput-like metric is records opened per
+    # second down the sidecar path (open time is the stage's headline).
+    old_scale = {
+        (r["records"], r["devices"]): r for r in old.get("scale", [])
+    }
+    new_scale = {
+        (r["records"], r["devices"]): r for r in new.get("scale", [])
+    }
+    for key in sorted(old_scale.keys() & new_scale.keys()):
+        o = old_scale[key]
+        n = new_scale[key]
+        old_rps = (
+            key[0] / float(o["open_indexed_seconds"])
+            if float(o["open_indexed_seconds"]) > 0.0
+            else 0.0
+        )
+        new_rps = (
+            key[0] / float(n["open_indexed_seconds"])
+            if float(n["open_indexed_seconds"]) > 0.0
+            else 0.0
+        )
+        ratio = new_rps / old_rps if old_rps > 0.0 else float("inf")
+        timing_reasons = []
+        behaviour_reasons = []
+        if ratio < threshold:
+            timing_reasons.append(f"indexed open slowed to {ratio:.2f}x")
+        if o["match_digest"] != n["match_digest"]:
+            behaviour_reasons.append(
+                "scale query results moved (digest differs)"
+            )
+        elif o["matches"] != n["matches"]:
+            behaviour_reasons.append(
+                f"scale matches changed {o['matches']} -> {n['matches']}"
+            )
+        add_row(
+            {
+                "workload": "scale",
+                "algorithm": f"{key[0]}rec",
+                "old_points_per_sec": old_rps,
+                "new_points_per_sec": new_rps,
+                "ratio": ratio,
+                "reasons": timing_reasons + behaviour_reasons,
+                "behaviour": bool(behaviour_reasons),
+            }
+        )
+
     # Geodetic section (schema 4+): fleet variants joined on name.  The
     # query digest covers the definite/exact/approximate device sets of
     # the geographic range query — membership decisions with metre-scale

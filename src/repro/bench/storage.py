@@ -21,6 +21,16 @@ drift in the compressors:
     are digest-checked between the two (the exact-mode guarantee), and
     the digest is recorded for ``compare``.
 
+**Scale stage** (:func:`run_scale_bench`)
+    The sidecar fast path's reason to exist, measured: deterministic
+    synthetic stores at several record counts, each opened both ways —
+    sidecar-indexed (footers + mmap) and ``index_sidecars=False`` (the
+    legacy full envelope scan) — with a geographic rectangle query run
+    down both paths.  The match lists must agree record for record
+    (``BenchError`` otherwise) and their digest is the behaviour pin
+    ``compare`` joins on; the open walls are the headline numbers the
+    BENCHMARKS.md "open time vs store size" table reports.
+
 Query walls are best-of-N like every other number in this subsystem;
 the brute-force walls give the "vs scanning everything raw" context the
 BENCHMARKS.md storage section reports.
@@ -48,7 +58,7 @@ from ..storage.store import StoreSink, TrajectoryStore
 from .harness import BenchError
 from .workloads import make_workload
 
-__all__ = ["StorageRecord", "run_storage_bench"]
+__all__ = ["ScaleRecord", "StorageRecord", "run_scale_bench", "run_storage_bench"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +86,27 @@ class StorageRecord:
     range_query_seconds: float  #: best-of-N store ε-expanded range wall
     range_query_brute_seconds: float
     query_digest: str  #: sha256[:16] over both queries' device sets
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ScaleRecord:
+    """Open/query walls for one synthetic store size, both paths."""
+
+    records: int
+    devices: int
+    segments: int
+    store_bytes: int
+    build_seconds: float
+    open_indexed_seconds: float  #: best-of-N sidecar-backed open wall
+    open_scan_seconds: float  #: best-of-N full-envelope-scan open wall
+    open_speedup: float  #: scan / indexed (higher = sidecars help more)
+    query_indexed_seconds: float  #: geo rect over mmap'd rows, grid-pruned
+    query_scan_seconds: float  #: same rect down the fallback path
+    matches: int
+    match_digest: str  #: sha256[:16] over the (segment, offset, device) keys
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -247,3 +278,139 @@ def run_storage_bench(
         range_query_brute_seconds=rq_brute_wall,
         query_digest=digest,
     )
+
+
+def run_scale_bench(
+    sizes: tuple = (10_000, 100_000, 1_000_000),
+    devices: int = 500,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> list:
+    """Open-time and query-at-scale measurements, one record per size.
+
+    Each store is filled with the deterministic synthetic workload the
+    ``scale-smoke`` CLI uses (zone-stamped two-key-point trajectories on
+    a ~50x50 km patch), so identical sizes lay down byte-identical
+    stores and the match digests are stable pins across runs.
+    """
+    from ..model.projection import UTMProjection
+    from ..storage.__main__ import synthetic_fill
+    from ..storage.query import geo_range_query
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    records: list = []
+    for size in sizes:
+        note(f"storage/scale ({size} records)")
+        directory = tempfile.mkdtemp(prefix="repro-scale-bench-")
+        try:
+            t0 = time.perf_counter()
+            with TrajectoryStore(directory) as store:
+                synthetic_fill(store, size, devices)
+                segments = len(store.segment_names)
+            build_wall = time.perf_counter() - t0
+
+            def open_and_close(**kwargs) -> dict:
+                store = TrajectoryStore(directory, **kwargs)
+                try:
+                    return store.index_report()
+                finally:
+                    store.close()
+
+            open_idx_wall, coverage = _best_of(
+                lambda: open_and_close(), repeats
+            )
+            if coverage["scanned_segments"]:
+                raise BenchError(
+                    f"storage/scale: {coverage['scanned_segments']} "
+                    "segment(s) fell back to the envelope scan on a clean "
+                    "reopen"
+                )
+            open_scan_wall, _ = _best_of(
+                lambda: open_and_close(index_sidecars=False), repeats
+            )
+
+            # One geographic rectangle — the middle ninth of the covered
+            # plane, unprojected through the stamped zone — asked down
+            # both paths.
+            store = TrajectoryStore(directory)
+            try:
+                store_bytes = store.total_bytes()
+                box = store.bbox()
+                zone, south = sorted(store.stamped_frames())[0]
+                projection = UTMProjection(zone=zone, south=south)
+                corners = [
+                    projection.inverse(
+                        box[0] + (box[2] - box[0]) / 3.0,
+                        box[1] + (box[3] - box[1]) / 3.0,
+                    ),
+                    projection.inverse(
+                        box[0] + 2.0 * (box[2] - box[0]) / 3.0,
+                        box[1] + 2.0 * (box[3] - box[1]) / 3.0,
+                    ),
+                ]
+                geo_rect = (
+                    min(c[0] for c in corners),
+                    min(c[1] for c in corners),
+                    max(c[0] for c in corners),
+                    max(c[1] for c in corners),
+                )
+                q_idx_wall, fast = _best_of(
+                    lambda: geo_range_query(
+                        store, geo_rect, mode="approximate"
+                    ),
+                    repeats,
+                )
+            finally:
+                store.close()
+            scan_store = TrajectoryStore(directory, index_sidecars=False)
+            try:
+                q_scan_wall, slow = _best_of(
+                    lambda: geo_range_query(
+                        scan_store, geo_rect, mode="approximate"
+                    ),
+                    repeats,
+                )
+            finally:
+                scan_store.close()
+
+            fast_keys = [
+                (m.ref.segment, m.ref.offset, m.device_id) for m in fast
+            ]
+            slow_keys = [
+                (m.ref.segment, m.ref.offset, m.device_id) for m in slow
+            ]
+            if fast_keys != slow_keys:
+                raise BenchError(
+                    f"storage/scale: mmap path returned {len(fast_keys)} "
+                    f"matches, fallback scan {len(slow_keys)} — the paths "
+                    "disagree"
+                )
+            digest = hashlib.sha256(
+                "|".join(f"{s}:{o}:{d}" for s, o, d in fast_keys).encode()
+            ).hexdigest()[:16]
+            records.append(
+                ScaleRecord(
+                    records=size,
+                    devices=devices,
+                    segments=segments,
+                    store_bytes=store_bytes,
+                    build_seconds=build_wall,
+                    open_indexed_seconds=open_idx_wall,
+                    open_scan_seconds=open_scan_wall,
+                    open_speedup=(
+                        open_scan_wall / open_idx_wall
+                        if open_idx_wall > 0.0
+                        else math.inf
+                    ),
+                    query_indexed_seconds=q_idx_wall,
+                    query_scan_seconds=q_scan_wall,
+                    matches=len(fast_keys),
+                    match_digest=digest,
+                )
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return records

@@ -1,7 +1,7 @@
-"""Persistence for compressed trajectories: codec, store, queries.
+"""Persistence for compressed trajectories: codec, store, index, queries.
 
 BQS compresses "on the go" so constrained devices can afford to *keep*
-their trajectories — this package is where they are kept.  Three modules,
+their trajectories — this package is where they are kept.  Four modules,
 lowest first:
 
 :mod:`repro.storage.codec`
@@ -12,14 +12,24 @@ lowest first:
     Decoding yields :class:`~repro.model.columns.TrajectoryColumns` plus
     the header — lossless at the declared quantum.
 
+:mod:`repro.storage.index`
+    Persistent per-segment index sidecars (``seg-*.idx``): packed
+    envelope rows plus grid/block pruning summaries with CRC'd footers,
+    served zero-copy through ``mmap``.  Sidecars make opening a store
+    O(segments) instead of O(records); a missing or corrupt sidecar
+    degrades to the envelope scan and is regenerated.
+
 :mod:`repro.storage.store`
     :class:`~repro.storage.store.TrajectoryStore`: an append-only
     segmented log of codec records with crash-safe appends (length +
     CRC-prefixed records, truncated-tail tolerance), per-device manifests,
-    an in-memory time/bbox index built on open, tombstone deletes and
-    compaction.  :class:`~repro.storage.store.StoreSink` plugs the store
-    into the engine's :class:`~repro.engine.sinks.Sink` protocol so fleet
-    runs stream straight to disk.
+    lazy sidecar-backed opens, tombstone deletes, compaction with a
+    manifest generation counter (stale concurrent readers raise
+    :class:`~repro.storage.store.StaleStoreError` and reload), and
+    in-place format migration (:func:`~repro.storage.store.
+    migrate_store`).  :class:`~repro.storage.store.StoreSink` plugs the
+    store into the engine's :class:`~repro.engine.sinks.Sink` protocol so
+    fleet runs stream straight to disk.
 
 :mod:`repro.storage.query`
     Error-aware spatio-temporal queries answered over the compressed
@@ -27,9 +37,13 @@ lowest first:
     and spatial range in two modes, ``approximate`` (ε-expanded bounding
     boxes from the index only) and ``exact`` (chord-level geometry against
     the ε-expanded rectangle; no false negatives by the error bound).
+    Candidate selection runs over the mmap'd sidecar rows with
+    grid-level pruning; geographic rectangles may wrap the antimeridian.
 
-``python -m repro.storage`` drives all three: ``ingest`` a simulated
-fleet to disk, ``stat`` a store, ``query`` it, ``compact`` it.
+``python -m repro.storage`` drives all of it: ``ingest`` a simulated
+fleet to disk, ``stat`` a store, ``query`` it, ``compact`` it,
+``migrate``/``reindex`` it, and ``scale-smoke`` the open/query fast
+paths.
 """
 
 from .codec import (
@@ -40,6 +54,7 @@ from .codec import (
     decode_trajectory,
     encode_trajectory,
 )
+from .index import ScannedSegment, SegmentIndex, SidecarError
 from .query import (
     QueryMatch,
     geo_range_query,
@@ -47,7 +62,14 @@ from .query import (
     range_query,
     time_window_query,
 )
-from .store import RecordRef, StoreSink, TrajectoryStore, shard_store_sink
+from .store import (
+    RecordRef,
+    StaleStoreError,
+    StoreSink,
+    TrajectoryStore,
+    migrate_store,
+    shard_store_sink,
+)
 
 __all__ = [
     "CodecError",
@@ -56,12 +78,17 @@ __all__ = [
     "DecodedTrajectory",
     "QueryMatch",
     "RecordRef",
+    "ScannedSegment",
+    "SegmentIndex",
+    "SidecarError",
+    "StaleStoreError",
     "StoreSink",
     "TrajectoryStore",
     "decode_trajectory",
     "encode_trajectory",
     "geo_range_query",
     "geo_rect_to_plane",
+    "migrate_store",
     "range_query",
     "shard_store_sink",
     "time_window_query",

@@ -24,6 +24,16 @@ Subcommands::
     # drop tombstoned data, rewrite live records into fresh segments
     PYTHONPATH=src python -m repro.storage compact /tmp/fleet
 
+    # upgrade an old-format store directory in place (emit sidecars)
+    PYTHONPATH=src python -m repro.storage migrate /tmp/old-fleet
+
+    # rebuild every index sidecar from the segment logs
+    PYTHONPATH=src python -m repro.storage reindex /tmp/fleet
+
+    # CI guard: synthetic fill, timed lazy reopen, mmap-vs-scan parity
+    PYTHONPATH=src python -m repro.storage scale-smoke /tmp/scale \\
+        --records 50000 --max-open-seconds 2.0
+
 ``ingest`` runs the same seeded fleet simulation as ``python -m
 repro.engine`` but streams every sealed trajectory through the
 :class:`~repro.storage.store.StoreSink` with ``collect=False`` — the
@@ -52,7 +62,7 @@ from ..engine.simulate import (
     iter_geo_fix_batches,
 )
 from .query import geo_range_query, range_query, time_window_query
-from .store import StoreSink, TrajectoryStore
+from .store import StoreSink, TrajectoryStore, migrate_store
 
 __all__ = ["main"]
 
@@ -159,6 +169,13 @@ def _cmd_stat(args) -> int:
                 f"bbox       [{box[0]:.2f}, {box[1]:.2f}] .. "
                 f"[{box[2]:.2f}, {box[3]:.2f}]"
             )
+        coverage = store.index_report()
+        print(
+            f"index      {coverage['sidecar_segments']}/"
+            f"{coverage['segments']} segments sidecar-indexed "
+            f"({coverage['sidecar_rows']}/{coverage['rows']} rows "
+            "served via mmap)"
+        )
         if store.scan_report:
             for segment, dropped in sorted(store.scan_report.items()):
                 print(
@@ -232,6 +249,161 @@ def _cmd_compact(args) -> int:
     return 0
 
 
+def _cmd_migrate(args) -> int:
+    try:
+        stats = migrate_store(args.store)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    action = (
+        f"migrated from format {stats['from_format']}"
+        if stats["migrated"]
+        else "already current format"
+    )
+    print(
+        f"{args.store}: {action}; {stats['records']} records in "
+        f"{stats['segments']} segment(s), {stats['sidecars']} sidecar(s) "
+        "written"
+    )
+    if stats["dropped_bytes"]:
+        print(
+            f"warning    {stats['dropped_bytes']} unreadable trailing "
+            "bytes dropped (damaged tails)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_reindex(args) -> int:
+    with TrajectoryStore(args.store) as store:
+        count = store.reindex()
+        records = store.record_count
+    print(f"reindexed: {count} sidecar(s) rewritten, {records} records")
+    return 0
+
+
+def synthetic_fill(store: TrajectoryStore, records: int, devices: int) -> None:
+    """Append deterministic tiny zone-stamped trajectories, fast.
+
+    Two key points each, spread over a ~50x50 km patch of UTM zone 33N so
+    the grid pruning has structure to bite on; no randomness, so every
+    run of the smoke lays down byte-identical stores.
+    """
+    from ..model.point import PlanePoint
+    from ..model.projection import UTMProjection
+    from ..model.trajectory import CompressedTrajectory
+
+    projection = UTMProjection(zone=33, south=False)
+    start = store.record_count
+    for i in range(start, start + records):
+        device = i % devices
+        t = float(i // devices) * 60.0
+        x = 350_000.0 + (device * 37 % 997) * 50.0 + (i % 97) * 2.0
+        y = 4_600_000.0 + (device * 61 % 997) * 50.0 + (i % 89) * 2.0
+        store.append(
+            f"dev-{device:05d}",
+            CompressedTrajectory(
+                key_points=(
+                    PlanePoint(x, y, t),
+                    PlanePoint(x + 25.0, y + 18.0, t + 30.0),
+                ),
+                original_count=30,
+                tolerance=10.0,
+                algorithm="bqs",
+                frame=projection,
+            ),
+        )
+
+
+def _cmd_scale_smoke(args) -> int:
+    build_start = time.perf_counter()
+    with TrajectoryStore(args.store) as store:
+        missing = args.records - store.record_count
+        if missing > 0:
+            synthetic_fill(store, missing, args.devices)
+        total = store.record_count
+    build_wall = time.perf_counter() - build_start
+
+    open_start = time.perf_counter()
+    store = TrajectoryStore(args.store)
+    open_wall = time.perf_counter() - open_start
+    try:
+        coverage = store.index_report()
+        box = store.bbox()
+        (zone, south) = sorted(store.stamped_frames())[0]
+        from ..model.projection import UTMProjection
+
+        projection = UTMProjection(zone=zone, south=south)
+        # The middle ninth of the covered plane, unprojected: a realistic
+        # geographic rectangle derived from the data itself.
+        corners = [
+            projection.inverse(
+                box[0] + (box[2] - box[0]) / 3.0,
+                box[1] + (box[3] - box[1]) / 3.0,
+            ),
+            projection.inverse(
+                box[0] + 2.0 * (box[2] - box[0]) / 3.0,
+                box[1] + 2.0 * (box[3] - box[1]) / 3.0,
+            ),
+        ]
+        geo_rect = (
+            min(c[0] for c in corners),
+            min(c[1] for c in corners),
+            max(c[0] for c in corners),
+            max(c[1] for c in corners),
+        )
+        fast_start = time.perf_counter()
+        fast = geo_range_query(store, geo_rect, mode="approximate")
+        fast_wall = time.perf_counter() - fast_start
+    finally:
+        store.close()
+
+    # The same question answered without sidecars: full envelope scan on
+    # open, linear candidate selection — the fallback path must agree
+    # record for record.
+    scan_start = time.perf_counter()
+    scan_store = TrajectoryStore(args.store, index_sidecars=False)
+    scan_open_wall = time.perf_counter() - scan_start
+    try:
+        slow = geo_range_query(scan_store, geo_rect, mode="approximate")
+    finally:
+        scan_store.close()
+
+    fast_key = [(m.ref.segment, m.ref.offset, m.device_id) for m in fast]
+    slow_key = [(m.ref.segment, m.ref.offset, m.device_id) for m in slow]
+    print(
+        f"{total} records ({build_wall:.2f}s build): open {open_wall*1e3:.1f}ms "
+        f"indexed vs {scan_open_wall*1e3:.1f}ms scan "
+        f"({scan_open_wall / max(open_wall, 1e-9):.0f}x), "
+        f"{coverage['sidecar_segments']}/{coverage['segments']} segments via "
+        f"sidecar, geo query {len(fast)} matches in {fast_wall*1e3:.1f}ms"
+    )
+    if fast_key != slow_key:
+        print(
+            f"FAIL: mmap path returned {len(fast)} matches, fallback scan "
+            f"{len(slow)} — the paths disagree",
+            file=sys.stderr,
+        )
+        return 1
+    if coverage["scanned_segments"]:
+        print(
+            f"FAIL: {coverage['scanned_segments']} segment(s) fell back to "
+            "the envelope scan on a clean reopen",
+            file=sys.stderr,
+        )
+        return 1
+    if open_wall > args.max_open_seconds:
+        print(
+            f"FAIL: indexed open took {open_wall:.3f}s "
+            f"(budget {args.max_open_seconds:.3f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "scale-smoke: PASS (mmap and scan paths agree; open within budget)"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.storage",
@@ -295,6 +467,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     p = sub.add_parser("compact", help="rewrite live records, drop dead data")
     p.add_argument("store")
     p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser(
+        "migrate",
+        help="upgrade a format-1/format-2 store directory in place",
+    )
+    p.add_argument("store")
+    p.set_defaults(func=_cmd_migrate)
+
+    p = sub.add_parser(
+        "reindex", help="rebuild every index sidecar from the segment logs"
+    )
+    p.add_argument("store")
+    p.set_defaults(func=_cmd_reindex)
+
+    p = sub.add_parser(
+        "scale-smoke",
+        help="CI guard: synthetic fill, timed lazy reopen, mmap-vs-scan "
+        "query parity",
+    )
+    p.add_argument("store", help="store directory (filled on first run)")
+    p.add_argument("--records", type=int, default=50_000)
+    p.add_argument("--devices", type=int, default=250)
+    p.add_argument(
+        "--max-open-seconds",
+        type=float,
+        default=2.0,
+        help="hard wall-clock budget for the sidecar-indexed reopen",
+    )
+    p.set_defaults(func=_cmd_scale_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,833 @@
+"""Persistent per-segment index sidecars and their mmap'd readers.
+
+A segment file ``seg-XXXXXXXX.log`` holds framed record payloads; its
+sidecar ``seg-XXXXXXXX.idx`` holds everything the store's open scan used
+to rebuild in RAM — one fixed-width envelope row per trajectory record,
+the tombstone positions, a per-device summary, and coarse pruning
+structure — so opening a store means reading footers, not re-parsing a
+million record envelopes.  The layout (all little-endian, stdlib
+``struct`` only)::
+
+    +---------------------------+
+    | header  b"BQSIDX1\\n"      |  8 bytes
+    | row region                |  n_rows x 80 B  (_ROW)
+    | device table              |  per device: u16 len | utf-8 id |
+    |                           |    u32 n_rows | u32 first | u32 last
+    | tombstone region          |  n_tombstones x 8 B  (_TOMB)
+    | grid region               |  grid_nx*grid_ny x 16 B  (_CELL)
+    | block region              |  ceil(n_rows/block_rows) x 56 B (_BLOCK)
+    | footer                    |  152 B (_FOOTER), CRC'd
+    +---------------------------+
+
+The footer carries the segment-level envelope, per-region CRCs and the
+CRC of the segment log it was built from, so a reader can decide how
+much to trust without touching the log:
+
+* ``footer_crc`` / ``meta_crc`` are verified at open (microseconds —
+  the footer plus the small device/tombstone/grid/block regions).
+* ``rows_crc`` covers the big row region and is verified **lazily**, on
+  the first query that iterates the segment's rows — open time stays
+  proportional to segment *count*, not record count.
+* ``log_crc`` / ``head_crc`` tie the sidecar to the log content it
+  indexed.  Sealed segments are trusted on size plus a 4 KiB head CRC
+  (record payloads are re-CRC'd on every read anyway); the *active*
+  segment — the one a crash could have damaged — is only trusted after
+  a full log-content CRC.
+
+Any validation failure raises :class:`SidecarError` and the store falls
+back to the legacy envelope scan for that segment, regenerating the
+sidecar afterwards; a corrupt ``.idx`` can cost time, never answers.
+
+Pruning happens at three grains before any per-row test: the footer
+envelope (whole segment), an ``8x8`` spatial grid with per-cell time
+spans, and per-512-row block envelopes.  Rows are assigned to every
+grid cell their ε-expanded bounding box overlaps, and blocks carry
+their own max ε, so every prune is conservative: a skipped cell/block
+provably contains no row whose ε-expanded box reaches the query
+rectangle within the window.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..model.projection import UTMProjection
+
+__all__ = [
+    "RecordRef",
+    "ScannedSegment",
+    "SegmentIndex",
+    "SidecarError",
+    "sidecar_path",
+    "write_sidecar",
+]
+
+_HEADER = b"BQSIDX1\n"
+_FOOTER_MAGIC = b"BQSF"
+_VERSION = 1
+
+#: One envelope row: t_min t_max x_min x_max y_min y_max epsilon,
+#: device index, key-point count, frame offset, frame length, UTM zone
+#: (0 = unstamped), hemisphere flag, 2 pad bytes.  80 bytes.
+_ROW = struct.Struct("<7dIIQIBB2x")
+#: One tombstone: row marker (trajectory rows preceding it in this
+#: segment), device index.
+_TOMB = struct.Struct("<II")
+#: One grid cell: time span of the rows assigned to it (+inf/-inf when
+#: empty — the cell is unmarked).
+_CELL = struct.Struct("<2d")
+#: One block summary: t/x/y envelope of a run of rows plus their max
+#: finite ε.
+_BLOCK = struct.Struct("<7d")
+#: magic, version, flags, n_rows, n_devices, n_tombstones, dev_bytes,
+#: block_rows, grid_nx, grid_ny, segment_size, damaged, log_crc,
+#: head_crc, total_key_points, envelope (t0 t1 x0 x1 y0 y1 max_eps),
+#: zones_north, zones_south, has_unstamped, rows_crc, meta_crc,
+#: footer_crc.  152 bytes at the very end of the file.
+_FOOTER = struct.Struct("<4sHHIIIIIHHQQIIQ7dQQB3xIII")
+
+GRID_NX = 8
+GRID_NY = 8
+BLOCK_ROWS = 512
+#: Log-head prefix covered by ``head_crc``.
+HEAD_CRC_BYTES = 4096
+
+
+class SidecarError(Exception):
+    """An index sidecar failed validation (treat the segment as unindexed)."""
+
+
+@dataclass(frozen=True, slots=True)
+class RecordRef:
+    """Index entry for one stored trajectory (envelope, not the blob)."""
+
+    device_id: str
+    segment: str  #: segment file name
+    offset: int  #: byte offset of the record frame in the segment
+    length: int  #: total framed record length in bytes
+    n_key_points: int
+    t_min: float
+    t_max: float
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    #: The trajectory's declared error bound (``inf`` when unbounded),
+    #: mirrored out of the blob header so the query screen never decodes.
+    epsilon: float
+    #: UTM zone the plane coordinates live in (``None`` for records stored
+    #: from already-planar fixes) and its hemisphere — the frame geographic
+    #: queries project their lat/lon rectangle into, per record.
+    utm_zone: int | None = None
+    utm_south: bool = False
+
+    def projection(self) -> UTMProjection | None:
+        """The stamped UTM frame, if any (mirrors the blob header)."""
+        if self.utm_zone is None:
+            return None
+        return UTMProjection(zone=self.utm_zone, south=self.utm_south)
+
+
+def sidecar_path(directory: Path, segment_name: str) -> Path:
+    """``seg-XXXXXXXX.log`` -> ``<directory>/seg-XXXXXXXX.idx``."""
+    stem = segment_name[:-4] if segment_name.endswith(".log") else segment_name
+    return Path(directory) / (stem + ".idx")
+
+
+def _finite_eps(eps: float) -> float:
+    # Matches the query screen: a non-finite ε carries no guarantee to
+    # expand by, so it expands nothing.
+    return eps if math.isfinite(eps) else 0.0
+
+
+def _cell_span(lo: float, hi: float, g0: float, g1: float, n: int) -> range:
+    """Grid cells a value interval overlaps, clamped to the grid.
+
+    The interval may be unbounded (geographic queries reaching past the
+    polar sampling clamp carry infinite northings), so the endpoints are
+    compared against the grid edge before any arithmetic that would
+    overflow ``int()``.
+    """
+    span = g1 - g0
+    if span <= 0.0:
+        return range(0, 1)
+    i0 = 0 if lo <= g0 else min(int((lo - g0) / span * n), n - 1)
+    i1 = n - 1 if hi >= g1 else max(int((hi - g0) / span * n), 0)
+    if i1 < i0:
+        i1 = i0
+    return range(i0, i1 + 1)
+
+
+def write_sidecar(
+    path: str | os.PathLike,
+    segment_name: str,
+    refs: Sequence[RecordRef],
+    tombstones: Sequence[Tuple[int, str]],
+    *,
+    segment_size: int,
+    log_crc: int,
+    head_crc: int,
+    damaged: int = 0,
+    fsync: bool = False,
+    block_rows: int = BLOCK_ROWS,
+    grid_nx: int = GRID_NX,
+    grid_ny: int = GRID_NY,
+) -> None:
+    """Build and atomically write one segment's ``.idx`` sidecar.
+
+    ``refs`` are the segment's trajectory rows in offset order;
+    ``tombstones`` are ``(marker_row, device_id)`` pairs where the marker
+    counts the trajectory rows preceding the tombstone in this segment.
+    ``damaged`` preserves the scan report (unreadable trailing bytes) so
+    a reopen from the sidecar reports the same recovery state the scan
+    did.
+    """
+    device_idx: Dict[str, int] = {}
+    dev_stats: List[List[int]] = []  # [n_rows, first_row, last_row]
+    for ref in refs:
+        i = device_idx.get(ref.device_id)
+        if i is None:
+            device_idx[ref.device_id] = len(dev_stats)
+            dev_stats.append([0, 0xFFFFFFFF, 0])
+    for _, device_id in tombstones:
+        if device_id not in device_idx:
+            device_idx[device_id] = len(dev_stats)
+            dev_stats.append([0, 0xFFFFFFFF, 0])
+
+    n_rows = len(refs)
+    # Segment envelope + max finite ε + zone masks, one pass.
+    t0 = x0 = y0 = math.inf
+    t1 = x1 = y1 = -math.inf
+    max_eps = 0.0
+    total_keys = 0
+    zones_north = 0
+    zones_south = 0
+    has_unstamped = 0
+    for row, ref in enumerate(refs):
+        stats = dev_stats[device_idx[ref.device_id]]
+        stats[0] += 1
+        if stats[1] == 0xFFFFFFFF:
+            stats[1] = row
+        stats[2] = row
+        if ref.t_min < t0:
+            t0 = ref.t_min
+        if ref.t_max > t1:
+            t1 = ref.t_max
+        if ref.x_min < x0:
+            x0 = ref.x_min
+        if ref.x_max > x1:
+            x1 = ref.x_max
+        if ref.y_min < y0:
+            y0 = ref.y_min
+        if ref.y_max > y1:
+            y1 = ref.y_max
+        e = _finite_eps(ref.epsilon)
+        if e > max_eps:
+            max_eps = e
+        total_keys += ref.n_key_points
+        if ref.utm_zone is None:
+            has_unstamped = 1
+        elif ref.utm_south:
+            zones_south |= 1 << (ref.utm_zone - 1)
+        else:
+            zones_north |= 1 << (ref.utm_zone - 1)
+
+    # Grid bounds: the envelope expanded by the segment's max ε, so every
+    # row's ε-expanded box lies inside the grid.
+    gx0, gx1 = x0 - max_eps, x1 + max_eps
+    gy0, gy1 = y0 - max_eps, y1 + max_eps
+    cells = [(math.inf, -math.inf)] * (grid_nx * grid_ny)
+
+    rows = bytearray()
+    blocks = bytearray()
+    b_t0 = b_x0 = b_y0 = math.inf
+    b_t1 = b_x1 = b_y1 = -math.inf
+    b_eps = 0.0
+    for row, ref in enumerate(refs):
+        rows += _ROW.pack(
+            ref.t_min,
+            ref.t_max,
+            ref.x_min,
+            ref.x_max,
+            ref.y_min,
+            ref.y_max,
+            ref.epsilon,
+            device_idx[ref.device_id],
+            ref.n_key_points,
+            ref.offset,
+            ref.length,
+            ref.utm_zone or 0,
+            1 if ref.utm_south else 0,
+        )
+        e = _finite_eps(ref.epsilon)
+        ex0, ex1 = ref.x_min - e, ref.x_max + e
+        ey0, ey1 = ref.y_min - e, ref.y_max + e
+        for iy in _cell_span(ey0, ey1, gy0, gy1, grid_ny):
+            base = iy * grid_nx
+            for ix in _cell_span(ex0, ex1, gx0, gx1, grid_nx):
+                c0, c1 = cells[base + ix]
+                cells[base + ix] = (
+                    ref.t_min if ref.t_min < c0 else c0,
+                    ref.t_max if ref.t_max > c1 else c1,
+                )
+        if ref.t_min < b_t0:
+            b_t0 = ref.t_min
+        if ref.t_max > b_t1:
+            b_t1 = ref.t_max
+        if ex0 < b_x0:
+            b_x0 = ex0
+        if ex1 > b_x1:
+            b_x1 = ex1
+        if ey0 < b_y0:
+            b_y0 = ey0
+        if ey1 > b_y1:
+            b_y1 = ey1
+        if e > b_eps:
+            b_eps = e
+        if (row + 1) % block_rows == 0 or row + 1 == n_rows:
+            # Block envelopes are stored pre-expanded (per-row ε already
+            # applied), so the block prune needs no further expansion.
+            blocks += _BLOCK.pack(b_t0, b_t1, b_x0, b_x1, b_y0, b_y1, b_eps)
+            b_t0 = b_x0 = b_y0 = math.inf
+            b_t1 = b_x1 = b_y1 = -math.inf
+            b_eps = 0.0
+
+    dev_table = bytearray()
+    for device_id, i in device_idx.items():
+        encoded = device_id.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise SidecarError(f"device id too long for sidecar: {device_id!r}")
+        n, first, last = dev_stats[i]
+        dev_table += struct.pack("<H", len(encoded))
+        dev_table += encoded
+        dev_table += struct.pack("<III", n, first, last)
+
+    tomb_region = bytearray()
+    for marker, device_id in tombstones:
+        tomb_region += _TOMB.pack(marker, device_idx[device_id])
+
+    grid_region = bytearray()
+    for c0, c1 in cells:
+        grid_region += _CELL.pack(c0, c1)
+
+    meta = bytes(dev_table) + bytes(tomb_region) + bytes(grid_region) + bytes(
+        blocks
+    )
+    rows_b = bytes(rows)
+    footer_head = _FOOTER.pack(
+        _FOOTER_MAGIC,
+        _VERSION,
+        0,
+        n_rows,
+        len(dev_stats),
+        len(tombstones),
+        len(dev_table),
+        block_rows,
+        grid_nx,
+        grid_ny,
+        segment_size,
+        damaged,
+        log_crc & 0xFFFFFFFF,
+        head_crc & 0xFFFFFFFF,
+        total_keys,
+        t0,
+        t1,
+        x0,
+        x1,
+        y0,
+        y1,
+        max_eps,
+        zones_north,
+        zones_south,
+        has_unstamped,
+        zlib.crc32(rows_b),
+        zlib.crc32(meta),
+        0,
+    )[: _FOOTER.size - 4]
+    footer = footer_head + struct.pack("<I", zlib.crc32(footer_head))
+
+    path = Path(path)
+    tmp = path.with_suffix(".idx.tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_HEADER)
+        handle.write(rows_b)
+        handle.write(meta)
+        handle.write(footer)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _row_to_ref(segment: str, devices: List[str], row: tuple) -> RecordRef:
+    (t_min, t_max, x_min, x_max, y_min, y_max, eps,
+     dev, n_keys, offset, length, zone, south) = row
+    return RecordRef(
+        device_id=devices[dev],
+        segment=segment,
+        offset=offset,
+        length=length,
+        n_key_points=n_keys,
+        t_min=t_min,
+        t_max=t_max,
+        x_min=x_min,
+        x_max=x_max,
+        y_min=y_min,
+        y_max=y_max,
+        epsilon=eps,
+        utm_zone=zone if zone else None,
+        utm_south=bool(south),
+    )
+
+
+class SegmentIndex:
+    """A sealed segment's sidecar, served zero-copy through ``mmap``.
+
+    Construction (:meth:`open`) validates the footer, the small metadata
+    regions and the tie to the segment log; the row region is only
+    CRC-verified by an explicit :meth:`verify_rows` call (the store does
+    this lazily, once, before first serving rows).  All failures raise
+    :class:`SidecarError`.
+    """
+
+    kind = "sidecar"
+
+    def __init__(self) -> None:  # populated by open()
+        self.name = ""
+        self.n_rows = 0
+        self.total_key_points = 0
+        self.damaged = 0
+        self.log_crc = 0
+        self.head_crc = 0
+        self.segment_size = 0
+        self.has_unstamped = False
+        self.tombstones: List[Tuple[int, str]] = []
+        self._devices: List[str] = []
+        self._dev_stats: List[Tuple[int, int, int]] = []
+        self._mm = None
+        self._file = None
+        self._rows_off = len(_HEADER)
+        self._rows_crc = 0
+        self._rows_verified = False
+        self._envelope: Tuple[float, ...] | None = None
+        self._max_eps = 0.0
+        self._grid: Tuple[int, int, int] = (0, GRID_NX, GRID_NY)  # off, nx, ny
+        self._block_off = 0
+        self._block_rows = BLOCK_ROWS
+        self._n_blocks = 0
+        self._zones_north = 0
+        self._zones_south = 0
+
+    @classmethod
+    def open(
+        cls, path: str | os.PathLike, *, segment_name: str, expected_size: int
+    ) -> "SegmentIndex":
+        import mmap
+
+        self = cls()
+        self.name = segment_name
+        file = open(path, "rb")
+        try:
+            size = os.fstat(file.fileno()).st_size
+            if size < len(_HEADER) + _FOOTER.size:
+                raise SidecarError(f"{path}: too small to be a sidecar")
+            mm = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-length mmap
+            file.close()
+            raise SidecarError(f"{path}: {exc}") from exc
+        except SidecarError:
+            file.close()
+            raise
+        self._file = file
+        self._mm = mm
+        try:
+            self._validate(path, size, expected_size)
+        except Exception:
+            self.close()
+            raise
+        return self
+
+    def _validate(self, path, size: int, expected_size: int) -> None:
+        mm = self._mm
+        if mm[: len(_HEADER)] != _HEADER:
+            raise SidecarError(f"{path}: bad header magic")
+        view = memoryview(mm)
+        foot_off = size - _FOOTER.size
+        stored_crc = struct.unpack_from("<I", mm, size - 4)[0]
+        if zlib.crc32(view[foot_off : size - 4]) != stored_crc:
+            raise SidecarError(f"{path}: footer CRC mismatch")
+        (magic, version, _flags, n_rows, n_devices, n_tombstones, dev_bytes,
+         block_rows, grid_nx, grid_ny, segment_size, damaged, log_crc,
+         head_crc, total_keys, t0, t1, x0, x1, y0, y1, max_eps, zones_north,
+         zones_south, has_unstamped, rows_crc, meta_crc, _stored,
+         ) = _FOOTER.unpack_from(mm, foot_off)
+        if magic != _FOOTER_MAGIC:
+            raise SidecarError(f"{path}: bad footer magic")
+        if version != _VERSION:
+            raise SidecarError(f"{path}: unsupported sidecar version {version}")
+        if block_rows < 1 or grid_nx < 1 or grid_ny < 1:
+            raise SidecarError(f"{path}: corrupt footer geometry")
+        rows_end = self._rows_off + n_rows * _ROW.size
+        tomb_off = rows_end + dev_bytes
+        grid_off = tomb_off + n_tombstones * _TOMB.size
+        block_off = grid_off + grid_nx * grid_ny * _CELL.size
+        n_blocks = (n_rows + block_rows - 1) // block_rows
+        if block_off + n_blocks * _BLOCK.size + _FOOTER.size != size:
+            raise SidecarError(f"{path}: region sizes do not add up")
+        if segment_size != expected_size:
+            raise SidecarError(
+                f"{path}: indexed a {segment_size}-byte segment, log is "
+                f"{expected_size} bytes (stale sidecar)"
+            )
+        if zlib.crc32(view[rows_end:foot_off]) != meta_crc:
+            raise SidecarError(f"{path}: metadata CRC mismatch")
+        # Device table.
+        pos = rows_end
+        devices: List[str] = []
+        stats: List[Tuple[int, int, int]] = []
+        for _ in range(n_devices):
+            (id_len,) = struct.unpack_from("<H", mm, pos)
+            pos += 2
+            try:
+                devices.append(bytes(view[pos : pos + id_len]).decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise SidecarError(f"{path}: bad device id") from exc
+            pos += id_len
+            stats.append(struct.unpack_from("<III", mm, pos))
+            pos += 12
+        if pos != tomb_off:
+            raise SidecarError(f"{path}: device table overruns its region")
+        tombs: List[Tuple[int, str]] = []
+        for marker, dev in _TOMB.iter_unpack(view[tomb_off:grid_off]):
+            if dev >= n_devices or marker > n_rows:
+                raise SidecarError(f"{path}: tombstone out of range")
+            tombs.append((marker, devices[dev]))
+        for n, first, last in stats:
+            if n and (first >= n_rows or last >= n_rows or first > last):
+                raise SidecarError(f"{path}: device summary out of range")
+        self.n_rows = n_rows
+        self.total_key_points = total_keys
+        self.damaged = damaged
+        self.log_crc = log_crc
+        self.head_crc = head_crc
+        self.segment_size = segment_size
+        self.has_unstamped = bool(has_unstamped)
+        self.tombstones = tombs
+        self._devices = devices
+        self._dev_stats = stats
+        self._rows_crc = rows_crc
+        self._envelope = (
+            (t0, t1, x0, x1, y0, y1, max_eps) if n_rows else None
+        )
+        self._max_eps = max_eps
+        self._grid = (grid_off, grid_nx, grid_ny)
+        self._block_off = block_off
+        self._block_rows = block_rows
+        self._n_blocks = n_blocks
+        self._zones_north = zones_north
+        self._zones_south = zones_south
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify_rows(self) -> None:
+        """One-time CRC pass over the row region (cheap; done lazily)."""
+        if self._rows_verified or self.n_rows == 0:
+            self._rows_verified = True
+            return
+        view = memoryview(self._mm)
+        end = self._rows_off + self.n_rows * _ROW.size
+        if zlib.crc32(view[self._rows_off : end]) != self._rows_crc:
+            raise SidecarError(f"{self.name}: sidecar row region CRC mismatch")
+        self._rows_verified = True
+
+    # -- summaries -----------------------------------------------------------
+
+    def device_summary(self) -> Dict[str, Tuple[int, int, int]]:
+        """``device_id -> (n_rows, first_row, last_row)`` (0 rows for
+        devices present only as tombstones)."""
+        return dict(zip(self._devices, self._dev_stats))
+
+    def envelope(self) -> Tuple[float, ...] | None:
+        """``(t_min, t_max, x_min, x_max, y_min, y_max, max_eps)`` over
+        every row, or ``None`` for an empty segment."""
+        return self._envelope
+
+    def stamped_zones(self) -> set:
+        zones = set()
+        for z in range(60):
+            if self._zones_north >> z & 1:
+                zones.add((z + 1, False))
+            if self._zones_south >> z & 1:
+                zones.add((z + 1, True))
+        return zones
+
+    # -- row access ----------------------------------------------------------
+
+    def ref(self, row: int) -> RecordRef:
+        if not 0 <= row < self.n_rows:
+            raise IndexError(row)
+        return _row_to_ref(
+            self.name,
+            self._devices,
+            _ROW.unpack_from(self._mm, self._rows_off + row * _ROW.size),
+        )
+
+    def iter_refs(
+        self, lo: int = 0, hi: int | None = None
+    ) -> Iterator[Tuple[int, RecordRef]]:
+        if hi is None or hi > self.n_rows:
+            hi = self.n_rows
+        if lo >= hi:
+            return
+        view = memoryview(self._mm)
+        start = self._rows_off + lo * _ROW.size
+        end = self._rows_off + hi * _ROW.size
+        name = self.name
+        devices = self._devices
+        row = lo
+        for fields in _ROW.iter_unpack(view[start:end]):
+            yield row, _row_to_ref(name, devices, fields)
+            row += 1
+
+    def _grid_passes(
+        self,
+        rect: Tuple[float, float, float, float],
+        t0: float | None,
+        t1: float | None,
+    ) -> bool:
+        """Conservative: False only if no marked cell can hold a match."""
+        env = self._envelope
+        grid_off, nx, ny = self._grid
+        gx0, gx1 = env[2] - self._max_eps, env[3] + self._max_eps
+        gy0, gy1 = env[4] - self._max_eps, env[5] + self._max_eps
+        qx0, qy0, qx1, qy1 = rect
+        if qx0 > gx1 or qx1 < gx0 or qy0 > gy1 or qy1 < gy0:
+            return False
+        mm = self._mm
+        windowed = t0 is not None
+        for iy in _cell_span(qy0, qy1, gy0, gy1, ny):
+            base = grid_off + iy * nx * _CELL.size
+            for ix in _cell_span(qx0, qx1, gx0, gx1, nx):
+                c0, c1 = _CELL.unpack_from(mm, base + ix * _CELL.size)
+                if c0 > c1:
+                    continue  # unmarked cell
+                if windowed and not (c0 <= t1 and c1 >= t0):
+                    continue
+                return True
+        return False
+
+    def iter_candidates(
+        self,
+        rect: Tuple[float, float, float, float] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        zone: int | None = None,
+        south: bool = False,
+    ) -> Iterator[Tuple[int, RecordRef]]:
+        """Rows passing the envelope screen, as ``(row, ref)`` in order.
+
+        The per-row test is exactly the legacy query screen (time-span
+        overlap, then the ε-expanded bounding-box test with non-finite ε
+        expanding nothing), preceded by segment/grid/block pruning that
+        can only skip provably-empty row ranges.
+        """
+        if self.n_rows == 0:
+            return
+        env = self._envelope
+        windowed = t0 is not None
+        if windowed and not (env[0] <= t1 and env[1] >= t0):
+            return
+        if rect is not None:
+            qx0, qy0, qx1, qy1 = rect
+            if (
+                env[2] - self._max_eps > qx1
+                or env[3] + self._max_eps < qx0
+                or env[4] - self._max_eps > qy1
+                or env[5] + self._max_eps < qy0
+            ):
+                return
+            if not self._grid_passes(rect, t0, t1):
+                return
+        zf = zone if zone is not None else None
+        sf = 1 if south else 0
+        view = memoryview(self._mm)
+        mm = self._mm
+        name = self.name
+        devices = self._devices
+        block_rows = self._block_rows
+        for b in range(self._n_blocks):
+            (b_t0, b_t1, b_x0, b_x1, b_y0, b_y1, _b_eps) = _BLOCK.unpack_from(
+                mm, self._block_off + b * _BLOCK.size
+            )
+            if windowed and not (b_t0 <= t1 and b_t1 >= t0):
+                continue
+            if rect is not None and (
+                b_x0 > qx1 or b_x1 < qx0 or b_y0 > qy1 or b_y1 < qy0
+            ):
+                continue
+            lo = b * block_rows
+            hi = min(lo + block_rows, self.n_rows)
+            start = self._rows_off + lo * _ROW.size
+            end = self._rows_off + hi * _ROW.size
+            row = lo
+            for fields in _ROW.iter_unpack(view[start:end]):
+                (r_t0, r_t1, r_x0, r_x1, r_y0, r_y1, eps,
+                 _dev, _nk, _off, _len, r_zone, r_south) = fields
+                if windowed and not (r_t0 <= t1 and r_t1 >= t0):
+                    row += 1
+                    continue
+                if zf is not None and (r_zone != zf or r_south != sf):
+                    row += 1
+                    continue
+                if rect is not None:
+                    e = eps if math.isfinite(eps) else 0.0
+                    if (
+                        r_x0 - e > qx1
+                        or r_x1 + e < qx0
+                        or r_y0 - e > qy1
+                        or r_y1 + e < qy0
+                    ):
+                        row += 1
+                        continue
+                yield row, _row_to_ref(name, devices, fields)
+                row += 1
+
+    def close(self) -> None:
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                # A memoryview still exports the buffer (e.g. held by a
+                # traceback after a validation failure, or an abandoned
+                # iterator).  The map is reclaimed when the last view
+                # dies; dropping our reference is enough.
+                pass
+            self._mm = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class ScannedSegment:
+    """The in-memory view of a segment that has no (trusted) sidecar.
+
+    Backed by plain Python lists, it serves the same view protocol as
+    :class:`SegmentIndex` — the store's active tail lives here (appends
+    mutate it), and so does any segment whose sidecar failed validation.
+    """
+
+    kind = "scan"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.refs: List[RecordRef] = []
+        self.tombstones: List[Tuple[int, str]] = []
+        self.damaged = 0
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.refs)
+
+    @property
+    def total_key_points(self) -> int:
+        return sum(ref.n_key_points for ref in self.refs)
+
+    @property
+    def has_unstamped(self) -> bool:
+        return any(ref.utm_zone is None for ref in self.refs)
+
+    def append_ref(self, ref: RecordRef) -> None:
+        self.refs.append(ref)
+
+    def add_tombstone(self, device_id: str) -> int:
+        """Record a tombstone at the current row position; returns its
+        marker (trajectory rows preceding it in this segment)."""
+        marker = len(self.refs)
+        self.tombstones.append((marker, device_id))
+        return marker
+
+    def verify_rows(self) -> None:  # the lists are the source of truth
+        return None
+
+    def device_summary(self) -> Dict[str, Tuple[int, int, int]]:
+        out: Dict[str, List[int]] = {}
+        for row, ref in enumerate(self.refs):
+            stats = out.get(ref.device_id)
+            if stats is None:
+                out[ref.device_id] = [1, row, row]
+            else:
+                stats[0] += 1
+                stats[2] = row
+        summary = {d: tuple(s) for d, s in out.items()}
+        for _, device_id in self.tombstones:
+            summary.setdefault(device_id, (0, 0xFFFFFFFF, 0))
+        return summary
+
+    def envelope(self) -> Tuple[float, ...] | None:
+        if not self.refs:
+            return None
+        return (
+            min(r.t_min for r in self.refs),
+            max(r.t_max for r in self.refs),
+            min(r.x_min for r in self.refs),
+            max(r.x_max for r in self.refs),
+            min(r.y_min for r in self.refs),
+            max(r.y_max for r in self.refs),
+            max(_finite_eps(r.epsilon) for r in self.refs),
+        )
+
+    def stamped_zones(self) -> set:
+        return {
+            (r.utm_zone, r.utm_south)
+            for r in self.refs
+            if r.utm_zone is not None
+        }
+
+    def ref(self, row: int) -> RecordRef:
+        return self.refs[row]
+
+    def iter_refs(
+        self, lo: int = 0, hi: int | None = None
+    ) -> Iterator[Tuple[int, RecordRef]]:
+        if hi is None:
+            hi = len(self.refs)
+        for row in range(lo, min(hi, len(self.refs))):
+            yield row, self.refs[row]
+
+    def iter_candidates(
+        self,
+        rect: Tuple[float, float, float, float] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        zone: int | None = None,
+        south: bool = False,
+    ) -> Iterator[Tuple[int, RecordRef]]:
+        windowed = t0 is not None
+        if rect is not None:
+            qx0, qy0, qx1, qy1 = rect
+        for row, ref in enumerate(self.refs):
+            if windowed and not (ref.t_min <= t1 and ref.t_max >= t0):
+                continue
+            if zone is not None and (
+                ref.utm_zone != zone or ref.utm_south != south
+            ):
+                continue
+            if rect is not None:
+                e = ref.epsilon if math.isfinite(ref.epsilon) else 0.0
+                if (
+                    ref.x_min - e > qx1
+                    or ref.x_max + e < qx0
+                    or ref.y_min - e > qy1
+                    or ref.y_max + e < qy0
+                ):
+                    continue
+            yield row, ref
+
+    def close(self) -> None:
+        return None

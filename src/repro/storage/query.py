@@ -117,8 +117,7 @@ def time_window_query(
     _check_window(t0, t1)
     return [
         QueryMatch(device_id=ref.device_id, ref=ref, definite=True)
-        for ref in store.records()
-        if ref.t_min <= t1 and ref.t_max >= t0
+        for ref in store.candidates(t0=t0, t1=t1)
     ]
 
 
@@ -199,17 +198,12 @@ def range_query(
         _check_window(t0, t1)
 
     matches: List[QueryMatch] = []
-    for ref in store.records():
-        if t0 is not None and not (ref.t_min <= t1 and ref.t_max >= t0):
-            continue
+    # The store's candidate iterator runs the exact envelope screen the
+    # loop below used to (time overlap, then the ε-expanded bbox test)
+    # over the mmap'd index rows with grid pruning, so only candidates
+    # ever materialize a RecordRef.
+    for ref in store.candidates(rect=rect, t0=t0, t1=t1):
         eps = ref.epsilon if math.isfinite(ref.epsilon) else 0.0
-        if (
-            ref.x_min - eps > x_max
-            or ref.x_max + eps < x_min
-            or ref.y_min - eps > y_max
-            or ref.y_max + eps < y_min
-        ):
-            continue
         if mode == "approximate":
             matches.append(
                 QueryMatch(device_id=ref.device_id, ref=ref, definite=False)
@@ -374,6 +368,56 @@ def _geo_definite_test(geo_rect: GeoRect, projection: UTMProjection):
     return test
 
 
+def _geo_collect(
+    store: TrajectoryStore,
+    geo_rect: GeoRect,
+    mode: str,
+    t0: float | None,
+    t1: float | None,
+) -> List[QueryMatch]:
+    """One non-wrapping lobe of a geographic query, per stamped frame.
+
+    Candidate selection runs once per distinct ``(zone, hemisphere)``
+    stamped in the store, with the lobe projected conservatively into
+    that frame and the store's zone filter keeping the grid-pruned scan
+    sound (a cell may mix zones; the per-row zone test may not).  The
+    returned matches are grouped by frame, not in append order — the
+    caller restores global order.
+    """
+    matches: List[QueryMatch] = []
+    for zone, south in sorted(store.stamped_frames()):
+        projection = UTMProjection(zone=zone, south=south)
+        rect = geo_rect_to_plane(geo_rect, projection)
+        definite_test = _geo_definite_test(geo_rect, projection)
+        for ref in store.candidates(
+            rect=rect, t0=t0, t1=t1, zone=zone, south=south
+        ):
+            if mode == "approximate":
+                matches.append(
+                    QueryMatch(
+                        device_id=ref.device_id,
+                        ref=ref,
+                        definite=False,
+                        geo_envelope=geo_envelope_of(ref, projection),
+                    )
+                )
+                continue
+            eps = ref.epsilon if math.isfinite(ref.epsilon) else 0.0
+            hit, definite = _chords_hit(
+                store.read(ref), rect, eps, t0, t1, definite_test=definite_test
+            )
+            if hit:
+                matches.append(
+                    QueryMatch(
+                        device_id=ref.device_id,
+                        ref=ref,
+                        definite=definite,
+                        geo_envelope=geo_envelope_of(ref, projection),
+                    )
+                )
+    return matches
+
+
 def geo_range_query(
     store: TrajectoryStore,
     geo_rect: GeoRect,
@@ -393,15 +437,22 @@ def geo_range_query(
     :func:`range_query`; the exact mode keeps the no-false-negative
     guarantee against the raw GPS fixes, and ``definite`` still implies a
     real original fix inside the rectangle (at codec-quantum precision).
-    Rectangles crossing the antimeridian are not supported (split the
-    query at ±180°).
+
+    A rectangle given with ``lon_min > lon_max`` **wraps the
+    antimeridian**: it is split at ±180° into two lobes, each queried
+    with the full conservative machinery, and the union returned (a
+    record matching both lobes is reported once, keeping ``definite`` if
+    either lobe proved it).  Unstamped records are skipped as always —
+    they cannot be placed on the ellipsoid.
     """
     lat_min, lon_min, lat_max, lon_max = geo_rect
-    if not (lat_max >= lat_min and lon_max >= lon_min):
+    if not lat_max >= lat_min:
         raise ValueError(f"degenerate geographic rectangle {geo_rect!r}")
     if not (-90.0 <= lat_min and lat_max <= 90.0):
         raise ValueError(f"latitude out of range in {geo_rect!r}")
-    if not (-180.0 <= lon_min and lon_max <= 180.0):
+    if not (
+        -180.0 <= lon_min <= 180.0 and -180.0 <= lon_max <= 180.0
+    ):
         raise ValueError(f"longitude out of range in {geo_rect!r}")
     if mode not in ("exact", "approximate"):
         raise ValueError(f"mode must be 'exact' or 'approximate', got {mode!r}")
@@ -410,55 +461,29 @@ def geo_range_query(
     if t0 is not None:
         _check_window(t0, t1)
 
-    #: Per-frame cache: (zone, south) -> (projection, conservative rect,
-    #: geodetic definiteness predicate).
-    frames: Dict[Tuple[int, bool], tuple] = {}
-    matches: List[QueryMatch] = []
-    for ref in store.records():
-        if ref.utm_zone is None:
-            continue  # bare plane fixes: not placeable on the ellipsoid
-        if t0 is not None and not (ref.t_min <= t1 and ref.t_max >= t0):
-            continue
-        key = (ref.utm_zone, ref.utm_south)
-        frame = frames.get(key)
-        if frame is None:
-            projection = UTMProjection(zone=ref.utm_zone, south=ref.utm_south)
-            frame = (
-                projection,
-                geo_rect_to_plane(geo_rect, projection),
-                _geo_definite_test(geo_rect, projection),
-            )
-            frames[key] = frame
-        projection, rect, definite_test = frame
-        x_min, y_min, x_max, y_max = rect
-        eps = ref.epsilon if math.isfinite(ref.epsilon) else 0.0
-        if (
-            ref.x_min - eps > x_max
-            or ref.x_max + eps < x_min
-            or ref.y_min - eps > y_max
-            or ref.y_max + eps < y_min
-        ):
-            continue
-        if mode == "approximate":
-            matches.append(
-                QueryMatch(
-                    device_id=ref.device_id,
-                    ref=ref,
-                    definite=False,
-                    geo_envelope=geo_envelope_of(ref, projection),
-                )
-            )
-            continue
-        hit, definite = _chords_hit(
-            store.read(ref), rect, eps, t0, t1, definite_test=definite_test
+    if lon_min <= lon_max:
+        matches = _geo_collect(store, geo_rect, mode, t0, t1)
+    else:
+        # Antimeridian wrap: the rectangle [lon_min..180] ∪ [-180..lon_max].
+        # Query each lobe independently and union the results — no false
+        # negatives, because every point of the wrapped rectangle lies in
+        # exactly one lobe (±180° itself lies in both, harmlessly).
+        west = _geo_collect(
+            store, (lat_min, lon_min, lat_max, 180.0), mode, t0, t1
         )
-        if hit:
-            matches.append(
-                QueryMatch(
-                    device_id=ref.device_id,
-                    ref=ref,
-                    definite=definite,
-                    geo_envelope=geo_envelope_of(ref, projection),
-                )
-            )
+        east = _geo_collect(
+            store, (lat_min, -180.0, lat_max, lon_max), mode, t0, t1
+        )
+        merged: Dict[Tuple[str, int], QueryMatch] = {}
+        for match in west + east:
+            key = (match.ref.segment, match.ref.offset)
+            kept = merged.get(key)
+            if kept is None or (match.definite and not kept.definite):
+                merged[key] = match
+        matches = list(merged.values())
+
+    # Per-frame collection broke append order; restore it so callers (and
+    # the index-parity pin) see the exact legacy ordering.
+    order = {name: i for i, name in enumerate(store.segment_names)}
+    matches.sort(key=lambda m: (order[m.ref.segment], m.ref.offset))
     return matches

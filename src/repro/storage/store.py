@@ -13,13 +13,19 @@ under one directory, with the durability story of a write-ahead log:
   and is replaced atomically (write-new + ``os.replace``), so compaction
   has a single commit point; segment files not in the manifest are
   compaction leftovers and are ignored on open, removed by the next
-  :meth:`compact`.
-* **In-memory index.**  Opening scans only the fixed-size record
-  *envelopes* (device id, key-point count, time span, bounding box —
-  computed at append time with the codec's own quantization, so they
-  agree bit-for-bit with decoded coordinates) and builds per-device
-  manifests plus the global record list :mod:`repro.storage.query` runs
-  on.  Blobs are only read back by :meth:`read`.
+  :meth:`compact`.  The manifest also carries a **generation** counter,
+  bumped by compaction, which lets a reader that opened before a
+  compaction detect that its index went stale (:class:`StaleStoreError`)
+  instead of wandering into reaped segments.
+* **Persistent index sidecars.**  Sealing a segment writes a packed
+  ``.idx`` sidecar (:mod:`repro.storage.index`) holding every record
+  envelope plus grid/block pruning summaries.  Opening the store reads
+  only ``manifest.json`` and the sidecar footers — O(segments), not
+  O(records) — and serves :meth:`records` / :meth:`candidates` through
+  zero-copy ``mmap`` views.  The legacy envelope scan remains the
+  fallback for the unsealed tail and for any segment whose sidecar is
+  missing or fails validation (the sidecar is regenerated after a
+  successful scan, and by :meth:`compact` / :meth:`reindex`).
 * **Deletes and compaction.**  :meth:`delete_device` appends a tombstone
   record; the device's earlier records drop from the index immediately
   and from disk at the next :meth:`compact`, which rewrites live records
@@ -37,9 +43,8 @@ import json
 import os
 import struct
 import zlib
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from ..model.projection import UTMProjection
 from ..model.trajectory import CompressedTrajectory
@@ -53,8 +58,24 @@ from .codec import (
     _read_uvarint,
     decode_trajectory,
 )
+from .index import (
+    HEAD_CRC_BYTES,
+    RecordRef,
+    ScannedSegment,
+    SegmentIndex,
+    SidecarError,
+    sidecar_path,
+    write_sidecar,
+)
 
-__all__ = ["RecordRef", "TrajectoryStore", "StoreSink", "shard_store_sink"]
+__all__ = [
+    "RecordRef",
+    "StaleStoreError",
+    "TrajectoryStore",
+    "StoreSink",
+    "migrate_store",
+    "shard_store_sink",
+]
 
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 # t_min t_max x_min x_max y_min y_max epsilon, then the UTM frame the
@@ -63,16 +84,19 @@ _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 # header — lets geographic queries project a lat/lon rectangle into each
 # candidate record's own zone without decoding a single blob.
 _ENVELOPE = struct.Struct("<7d2B")
+#: The format-1 envelope (no UTM frame bytes) — only read by migration.
+_ENVELOPE_V1 = struct.Struct("<7d")
 
 _RT_TRAJECTORY = 1
 _RT_TOMBSTONE = 2
 
 _MANIFEST = "manifest.json"
 _SEGMENT_FMT = "seg-{:08d}.log"
-#: On-disk record format.  2 added the UTM zone/hemisphere bytes to the
-#: envelope; stores written at format 1 must be re-ingested (the store is
-#: a derived artifact of its input stream, so there is no migration).
-_FORMAT = 2
+#: On-disk store format.  2 added the UTM zone/hemisphere bytes to the
+#: envelope; 3 added the manifest generation counter and the ``.idx``
+#: index sidecars.  Older directories upgrade in place via
+#: :func:`migrate_store` (``python -m repro.storage migrate``).
+_FORMAT = 3
 
 #: Default segment roll threshold; small enough that compaction and tail
 #: damage touch bounded data, large enough that a fleet run stays in a
@@ -80,35 +104,15 @@ _FORMAT = 2
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 
 
-@dataclass(frozen=True)
-class RecordRef:
-    """Index entry for one stored trajectory (envelope, not the blob)."""
+class StaleStoreError(RuntimeError):
+    """A read hit a segment that is no longer part of the store.
 
-    device_id: str
-    segment: str  #: segment file name
-    offset: int  #: byte offset of the record frame in the segment
-    length: int  #: total framed record length in bytes
-    n_key_points: int
-    t_min: float
-    t_max: float
-    x_min: float
-    x_max: float
-    y_min: float
-    y_max: float
-    #: The trajectory's declared error bound (``inf`` when unbounded),
-    #: mirrored out of the blob header so the query screen never decodes.
-    epsilon: float
-    #: UTM zone the plane coordinates live in (``None`` for records stored
-    #: from already-planar fixes) and its hemisphere — the frame geographic
-    #: queries project their lat/lon rectangle into, per record.
-    utm_zone: int | None = None
-    utm_south: bool = False
-
-    def projection(self) -> UTMProjection | None:
-        """The stamped UTM frame, if any (mirrors the blob header)."""
-        if self.utm_zone is None:
-            return None
-        return UTMProjection(zone=self.utm_zone, south=self.utm_south)
+    Raised when a :class:`RecordRef` (obtained before a compaction —
+    possibly by another process) points into a segment the manifest no
+    longer names.  When the on-disk generation has moved past this
+    handle's, the store reloads its index before raising, so the caller
+    can simply re-run the query on fresh refs.
+    """
 
 
 class TrajectoryStore:
@@ -120,6 +124,7 @@ class TrajectoryStore:
         *,
         segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
         fsync: bool = False,
+        index_sidecars: bool = True,
     ) -> None:
         if segment_max_bytes < 4096:
             raise ValueError(
@@ -129,22 +134,34 @@ class TrajectoryStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._segment_max_bytes = segment_max_bytes
         self._fsync = fsync
-        self._records: List[RecordRef] = []
-        self._by_device: Dict[str, List[RecordRef]] = {}
+        #: ``False`` disables the sidecar fast path entirely: never read,
+        #: trust, or write ``.idx`` files — every segment is envelope-
+        #: scanned exactly like the pre-sidecar store.  The benchmark's
+        #: scan baseline and the index-parity tests run through this.
+        self._index_sidecars = index_sidecars
         self._segments: List[str] = []
+        self._views: list = []  # SegmentIndex | ScannedSegment, per segment
+        self._seg_pos: Dict[str, int] = {}
+        #: device -> (segment position, row marker) of its most recent
+        #: tombstone; a record at (pos, row) < marker is dead.
+        self._max_tomb: Dict[str, Tuple[int, int]] = {}
         self._next_segment = 1
+        self._generation = 0
         self._handle = None
         self._active: str | None = None
         self._active_size = 0
+        self._tail_dirty = False
         self._read_handle = None
         self._read_segment: str | None = None
         self._closed = False
-        #: Records dropped by the open scan: damaged tail frames (count)
-        #: per segment — non-empty after recovering from a crash.
+        #: Records dropped by the open scan: damaged tail bytes (count)
+        #: per segment — non-empty after recovering from a crash.  A
+        #: sidecar preserves the count, so reopening from the index
+        #: reports the same recovery state the scan did.
         self.scan_report: Dict[str, int] = {}
         self._load()
 
-    # -- open-time scan ------------------------------------------------------
+    # -- opening -------------------------------------------------------------
 
     def _load(self) -> None:
         manifest_path = self.directory / _MANIFEST
@@ -155,14 +172,15 @@ class TrajectoryStore:
             if fmt != _FORMAT:
                 raise ValueError(
                     f"{self.directory}: store format {fmt} is not supported "
-                    f"(this build reads/writes format {_FORMAT}; re-ingest "
-                    "the source stream)"
+                    f"(this build reads/writes format {_FORMAT}; run "
+                    "`python -m repro.storage migrate` to upgrade in place)"
                 )
             self._segments = [
                 name for name in doc.get("segments", [])
                 if (self.directory / name).exists()
             ]
             self._next_segment = int(doc.get("next_segment", 1))
+            self._generation = int(doc.get("generation", 0))
         else:
             self._segments = sorted(
                 p.name for p in self.directory.glob("seg-*.log")
@@ -171,16 +189,65 @@ class TrajectoryStore:
                 self._next_segment = (
                     int(self._segments[-1][4:-4], 10) + 1
                 )
-        for name in self._segments:
-            self._scan_segment(name)
+        last = len(self._segments) - 1
+        for i, name in enumerate(self._segments):
+            view = None
+            if self._index_sidecars:
+                view = self._open_sidecar(name, active=(i == last))
+            if view is None:
+                view = self._scan_segment(name)
+                if self._index_sidecars and i != last:
+                    # Sealed segment with no usable sidecar: regenerate it
+                    # from the scan so the next open is lazy again.  The
+                    # unsealed tail gets its sidecar at seal/close time.
+                    self._regenerate_sidecar(view)
+            if view.damaged:
+                self.scan_report[name] = view.damaged
+            self._views.append(view)
+        self._seg_pos = {name: i for i, name in enumerate(self._segments)}
+        self._rebuild_tombstones()
         if self._segments:
             self._active = self._segments[-1]
             self._active_size = (self.directory / self._active).stat().st_size
+            self._tail_dirty = self._views[-1].kind == "scan"
 
-    def _scan_segment(self, name: str) -> None:
+    def _open_sidecar(self, name: str, *, active: bool):
+        """A validated :class:`SegmentIndex` for one segment, or ``None``.
+
+        Sealed segments are trusted on exact log size plus a CRC of the
+        log's first 4 KiB (payloads are re-CRC'd on every read).  The
+        *active* segment — the only one a crash can have damaged since
+        the sidecar was written — must match a CRC of its full content.
+        """
+        log_path = self.directory / name
+        idx = None
+        try:
+            size = log_path.stat().st_size
+            idx = SegmentIndex.open(
+                sidecar_path(self.directory, name),
+                segment_name=name,
+                expected_size=size,
+            )
+            if active:
+                if zlib.crc32(log_path.read_bytes()) != idx.log_crc:
+                    raise SidecarError(f"{name}: log content changed")
+            else:
+                with open(log_path, "rb") as handle:
+                    head = handle.read(HEAD_CRC_BYTES)
+                if zlib.crc32(head) != idx.head_crc:
+                    raise SidecarError(f"{name}: log head changed")
+            return idx
+        except (SidecarError, OSError):
+            if idx is not None:
+                idx.close()
+            return None
+
+    def _scan_segment(self, name: str) -> ScannedSegment:
+        """The legacy open path: parse every envelope out of the log."""
         path = self.directory / name
         with open(path, "rb") as handle:
             data = handle.read()
+        view = ScannedSegment(name)
         pos = 0
         end = len(data)
         while pos + _FRAME.size <= end:
@@ -195,27 +262,26 @@ class TrajectoryStore:
             if zlib.crc32(payload) != crc:
                 break  # corrupt tail: stop trusting this segment here
             try:
-                self._index_payload(name, pos, _FRAME.size + length, payload)
+                self._index_payload(view, pos, _FRAME.size + length, payload)
             except (CodecError, IndexError, UnicodeDecodeError):
                 # Unparseable envelope (CRC collisions are possible on
                 # arbitrary damage): treat like a bad frame.
                 break
             pos = payload_end
         if pos < end:
-            self.scan_report[name] = end - pos
+            view.damaged = end - pos
+        return view
 
+    @staticmethod
     def _index_payload(
-        self, segment: str, offset: int, length: int, payload: bytes
+        view: ScannedSegment, offset: int, length: int, payload: bytes
     ) -> None:
         rtype = payload[0]
         id_len, p = _read_uvarint(payload, 1)
         device_id = payload[p : p + id_len].decode("utf-8")
         p += id_len
         if rtype == _RT_TOMBSTONE:
-            if self._by_device.pop(device_id, None) is not None:
-                self._records = [
-                    r for r in self._records if r.device_id != device_id
-                ]
+            view.add_tombstone(device_id)
             return
         if rtype != _RT_TRAJECTORY:
             raise CodecError(f"unknown record type {rtype}")
@@ -228,24 +294,154 @@ class TrajectoryStore:
         if zone > 60:
             raise CodecError(f"UTM zone out of range: {zone}")
         n_keys, p = _read_uvarint(payload, p)
-        ref = RecordRef(
-            device_id=device_id,
-            segment=segment,
-            offset=offset,
-            length=length,
-            n_key_points=n_keys,
-            t_min=t_min,
-            t_max=t_max,
-            x_min=x_min,
-            x_max=x_max,
-            y_min=y_min,
-            y_max=y_max,
-            epsilon=epsilon,
-            utm_zone=zone if zone else None,
-            utm_south=bool(south),
+        view.append_ref(
+            RecordRef(
+                device_id=device_id,
+                segment=view.name,
+                offset=offset,
+                length=length,
+                n_key_points=n_keys,
+                t_min=t_min,
+                t_max=t_max,
+                x_min=x_min,
+                x_max=x_max,
+                y_min=y_min,
+                y_max=y_max,
+                epsilon=epsilon,
+                utm_zone=zone if zone else None,
+                utm_south=bool(south),
+            )
         )
-        self._records.append(ref)
-        self._by_device.setdefault(device_id, []).append(ref)
+
+    def _rebuild_tombstones(self) -> None:
+        self._max_tomb = {}
+        for si, view in enumerate(self._views):
+            for marker, device_id in view.tombstones:
+                self._max_tomb[device_id] = (si, marker)
+
+    # -- sidecar upkeep ------------------------------------------------------
+
+    def _log_crcs(self, name: str) -> Tuple[int, int, int]:
+        """``(log_crc, head_crc, size)`` of a segment log on disk."""
+        data = (self.directory / name).read_bytes()
+        return zlib.crc32(data), zlib.crc32(data[:HEAD_CRC_BYTES]), len(data)
+
+    def _regenerate_sidecar(self, view: ScannedSegment) -> None:
+        """Best-effort sidecar (re)write from a scanned view."""
+        if not self._index_sidecars:
+            return
+        try:
+            log_crc, head_crc, size = self._log_crcs(view.name)
+            write_sidecar(
+                sidecar_path(self.directory, view.name),
+                view.name,
+                view.refs,
+                view.tombstones,
+                segment_size=size,
+                log_crc=log_crc,
+                head_crc=head_crc,
+                damaged=view.damaged,
+                fsync=self._fsync,
+            )
+        except OSError:
+            pass  # a sidecar is an accelerator; the log stays authoritative
+
+    def _seal_tail(self) -> None:
+        """Write the active segment's sidecar (called on roll and close)."""
+        if not self._index_sidecars or not self._tail_dirty or not self._views:
+            return
+        if self._handle is not None:
+            self._handle.flush()
+        view = self._views[-1]
+        if view.kind == "scan":
+            self._regenerate_sidecar(view)
+        self._tail_dirty = False
+
+    def _checked_view(self, si: int):
+        """The segment view, with its row region verified once.
+
+        A sidecar whose row region fails its (lazy) CRC is dropped on the
+        spot: the segment is rescanned from the log — the source of truth
+        — and the sidecar rewritten, so corruption costs a scan, never an
+        answer.
+        """
+        view = self._views[si]
+        if view.kind == "sidecar":
+            try:
+                view.verify_rows()
+            except (SidecarError, OSError):
+                view.close()
+                fallback = self._scan_segment(self._segments[si])
+                if fallback.damaged:
+                    self.scan_report[fallback.name] = fallback.damaged
+                if si != len(self._views) - 1:
+                    self._regenerate_sidecar(fallback)
+                else:
+                    self._tail_dirty = True
+                self._views[si] = fallback
+                view = fallback
+        return view
+
+    def _materialize_tail(self) -> None:
+        """Make the tail view list-backed before the first append to it."""
+        if not self._views:
+            return
+        view = self._checked_view(len(self._views) - 1)
+        if view.kind == "scan":
+            return
+        tail = ScannedSegment(view.name)
+        tail.refs = [ref for _, ref in view.iter_refs()]
+        tail.tombstones = list(view.tombstones)
+        tail.damaged = view.damaged
+        view.close()
+        self._views[-1] = tail
+
+    def reindex(self) -> int:
+        """Rescan every segment log and rewrite its sidecar; returns how
+        many sidecars were written.  The logs are the source of truth, so
+        this repairs any amount of sidecar damage or staleness."""
+        if self._closed:
+            raise RuntimeError("store is closed")
+        self.flush()
+        count = 0
+        for si, name in enumerate(self._segments):
+            view = self._scan_segment(name)
+            if view.damaged:
+                self.scan_report[name] = view.damaged
+            log_crc, head_crc, size = self._log_crcs(name)
+            write_sidecar(
+                sidecar_path(self.directory, name),
+                name,
+                view.refs,
+                view.tombstones,
+                segment_size=size,
+                log_crc=log_crc,
+                head_crc=head_crc,
+                damaged=view.damaged,
+                fsync=self._fsync,
+            )
+            self._views[si].close()
+            self._views[si] = view
+            count += 1
+        self._rebuild_tombstones()
+        self._tail_dirty = False
+        return count
+
+    def index_report(self) -> Dict[str, int]:
+        """How much of the store is served from sidecars right now."""
+        sidecar_segments = sum(
+            1 for v in self._views if v.kind == "sidecar"
+        )
+        sidecar_rows = sum(
+            v.n_rows for v in self._views if v.kind == "sidecar"
+        )
+        return {
+            "segments": len(self._views),
+            "sidecar_segments": sidecar_segments,
+            "scanned_segments": len(self._views) - sidecar_segments,
+            "rows": sum(v.n_rows for v in self._views),
+            "sidecar_rows": sidecar_rows,
+        }
 
     # -- writing -------------------------------------------------------------
 
@@ -257,6 +453,7 @@ class TrajectoryStore:
                     "format": _FORMAT,
                     "segments": self._segments,
                     "next_segment": self._next_segment,
+                    "generation": self._generation,
                 },
                 handle,
             )
@@ -267,6 +464,7 @@ class TrajectoryStore:
         os.replace(tmp, self.directory / _MANIFEST)
 
     def _open_segment(self) -> None:
+        self._seal_tail()
         name = _SEGMENT_FMT.format(self._next_segment)
         self._next_segment += 1
         self._segments.append(name)
@@ -276,10 +474,17 @@ class TrajectoryStore:
         # "wb", not "ab": a crashed compaction can leave an orphan file
         # under this name (written but never committed to the manifest);
         # appending would land new frames behind its stale ones while the
-        # offset accounting starts at zero.  Truncate whatever is there.
+        # offset accounting starts at zero.  Truncate whatever is there,
+        # and drop any orphan sidecar with it.
         self._handle = open(self.directory / name, "wb")
+        idx_orphan = sidecar_path(self.directory, name)
+        if idx_orphan.exists():
+            idx_orphan.unlink()
         self._active = name
         self._active_size = 0
+        self._views.append(ScannedSegment(name))
+        self._seg_pos[name] = len(self._segments) - 1
+        self._tail_dirty = True
 
     def _ensure_writable(self) -> None:
         if self._closed:
@@ -293,7 +498,9 @@ class TrajectoryStore:
                 and self._active_size < self._segment_max_bytes
                 and self._active not in self.scan_report
             ):
+                self._materialize_tail()
                 self._handle = open(self.directory / self._active, "ab")
+                self._tail_dirty = True
             else:
                 self._open_segment()
         elif self._active_size >= self._segment_max_bytes:
@@ -387,25 +594,24 @@ class TrajectoryStore:
             utm_zone=projection.zone if projection is not None else None,
             utm_south=projection.south if projection is not None else False,
         )
-        self._records.append(ref)
-        self._by_device.setdefault(device_id, []).append(ref)
+        self._views[-1].append_ref(ref)
+        self._tail_dirty = True
         return ref
 
     def delete_device(self, device_id: str) -> int:
         """Tombstone a device: drop its records from the index now, from
         disk at the next :meth:`compact`.  Returns how many records died."""
-        dead = self._by_device.pop(device_id, [])
-        if dead:
-            self._records = [
-                r for r in self._records if r.device_id != device_id
-            ]
+        dead = len(self.device_manifest(device_id))
         payload = bytearray()
         payload.append(_RT_TOMBSTONE)
         device_bytes = device_id.encode("utf-8")
         _append_uvarint(payload, len(device_bytes))
         payload += device_bytes
         self._append_frame(bytes(payload))
-        return len(dead)
+        marker = self._views[-1].add_tombstone(device_id)
+        self._max_tomb[device_id] = (len(self._views) - 1, marker)
+        self._tail_dirty = True
+        return dead
 
     # -- reading -------------------------------------------------------------
 
@@ -427,13 +633,42 @@ class TrajectoryStore:
             self._read_handle = None
             self._read_segment = None
 
+    def _raise_stale(self, ref: RecordRef) -> None:
+        """The ref's segment is gone: decide whether *we* are the stale
+        party (another process compacted under us) and recover."""
+        disk_generation = self._generation
+        try:
+            with open(self.directory / _MANIFEST, "r", encoding="utf-8") as f:
+                disk_generation = int(json.load(f).get("generation", 0))
+        except (OSError, ValueError):
+            pass
+        if disk_generation != self._generation:
+            self.reload()
+            raise StaleStoreError(
+                f"{ref.segment}@{ref.offset}: the store was compacted "
+                f"(generation {self._generation}, this index entry predates "
+                "it); the index has been reloaded — re-run the query"
+            )
+        raise StaleStoreError(
+            f"{ref.segment}@{ref.offset}: segment is no longer part of "
+            "the store (reaped by compaction)"
+        )
+
     def _read_payload(self, ref: RecordRef) -> bytes:
         # Cache the open segment across reads: exact-mode range queries and
         # iter_decoded() visit many records per segment, and one open/seek
-        # per record would dominate their cost.
+        # per record would dominate their cost.  Staleness (a ref issued
+        # before a compaction, here or in another process) is detected at
+        # cache misses — the only point a reaped segment can newly enter
+        # the read path.
         if ref.segment != self._read_segment:
             self._close_read_handle()
-            self._read_handle = open(self.directory / ref.segment, "rb")
+            if ref.segment not in self._seg_pos:
+                self._raise_stale(ref)
+            try:
+                self._read_handle = open(self.directory / ref.segment, "rb")
+            except FileNotFoundError:
+                self._raise_stale(ref)
             self._read_segment = ref.segment
         self._read_handle.seek(ref.offset)
         frame = self._read_handle.read(ref.length)
@@ -448,32 +683,163 @@ class TrajectoryStore:
         blob_len, p = _read_uvarint(payload, p)
         return decode_trajectory(payload[p : p + blob_len])
 
+    def reload(self) -> None:
+        """Drop the in-memory index and re-open from the current manifest
+        (used after another process compacts the directory)."""
+        if self._closed:
+            raise RuntimeError("store is closed")
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._close_read_handle()
+        for view in self._views:
+            view.close()
+        self._segments = []
+        self._views = []
+        self._seg_pos = {}
+        self._max_tomb = {}
+        self._next_segment = 1
+        self._generation = 0
+        self._active = None
+        self._active_size = 0
+        self._tail_dirty = False
+        self.scan_report = {}
+        self._load()
+
+    def _is_dead(self, si: int, row: int, device_id: str) -> bool:
+        pos = self._max_tomb.get(device_id)
+        return pos is not None and (si, row) < pos
+
+    def _iter_live(self) -> Iterator[RecordRef]:
+        tomb = self._max_tomb
+        for si in range(len(self._views)):
+            view = self._checked_view(si)
+            for row, ref in view.iter_refs():
+                if tomb:
+                    pos = tomb.get(ref.device_id)
+                    if pos is not None and (si, row) < pos:
+                        continue
+                yield ref
+
+    def candidates(
+        self,
+        *,
+        rect: Tuple[float, float, float, float] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        zone: int | None = None,
+        south: bool = False,
+    ) -> Iterator[RecordRef]:
+        """Live records passing the envelope screen, in append order.
+
+        This is the query layer's candidate source: the per-row test (time
+        overlap, then the ε-expanded bounding-box test) is identical to
+        screening ``records()`` by hand, but runs over the mmap'd sidecar
+        rows with segment/grid/block pruning, so it materializes a
+        :class:`RecordRef` only per *candidate*, not per record.
+        """
+        tomb = self._max_tomb
+        for si in range(len(self._views)):
+            view = self._checked_view(si)
+            for row, ref in view.iter_candidates(
+                rect=rect, t0=t0, t1=t1, zone=zone, south=south
+            ):
+                if tomb:
+                    pos = tomb.get(ref.device_id)
+                    if pos is not None and (si, row) < pos:
+                        continue
+                yield ref
+
     def records(self) -> List[RecordRef]:
         """Every live record, in append order."""
-        return list(self._records)
+        return list(self._iter_live())
 
     def device_manifest(self, device_id: str) -> List[RecordRef]:
         """One device's live records, in append order."""
-        return list(self._by_device.get(device_id, ()))
+        out: List[RecordRef] = []
+        pos = self._max_tomb.get(device_id)
+        for si in range(len(self._views)):
+            summary = self._views[si].device_summary().get(device_id)
+            if summary is None or summary[0] == 0:
+                continue
+            first, last = summary[1], summary[2]
+            if pos is not None and (si, last) < pos:
+                continue  # every row of this device here predates the tomb
+            view = self._checked_view(si)
+            for row, ref in view.iter_refs(first, last + 1):
+                if ref.device_id != device_id:
+                    continue
+                if pos is not None and (si, row) < pos:
+                    continue
+                out.append(ref)
+        return out
 
     def devices(self) -> List[str]:
-        """Device ids with at least one live record."""
-        return list(self._by_device)
+        """Device ids with at least one live record, in order of first
+        live appearance."""
+        if not self._max_tomb:
+            out: List[str] = []
+            seen: Set[str] = set()
+            for view in self._views:
+                for device_id, summary in view.device_summary().items():
+                    if summary[0] and device_id not in seen:
+                        seen.add(device_id)
+                        out.append(device_id)
+            return out
+        out = []
+        seen = set()
+        for ref in self._iter_live():
+            if ref.device_id not in seen:
+                seen.add(ref.device_id)
+                out.append(ref.device_id)
+        return out
 
     def iter_decoded(self) -> Iterator[Tuple[RecordRef, DecodedTrajectory]]:
         """Decode every live record, in append order."""
-        for ref in self._records:
+        for ref in self._iter_live():
             yield ref, self.read(ref)
+
+    def stamped_frames(self) -> Set[Tuple[int, bool]]:
+        """Every ``(zone, south)`` UTM frame stamped on stored records (a
+        superset of the *live* frames when tombstones are pending)."""
+        zones: Set[Tuple[int, bool]] = set()
+        for view in self._views:
+            zones |= view.stamped_zones()
+        return zones
 
     # -- stats ---------------------------------------------------------------
 
     @property
     def record_count(self) -> int:
-        return len(self._records)
+        total = sum(view.n_rows for view in self._views)
+        if not self._max_tomb:
+            return total
+        return total - self._dead_count()
+
+    def _dead_count(self) -> int:
+        dead = 0
+        for device_id, (tsi, marker) in self._max_tomb.items():
+            for si in range(tsi + 1):
+                summary = self._views[si].device_summary().get(device_id)
+                if summary is None or summary[0] == 0:
+                    continue
+                n, first, last = summary
+                if si < tsi or marker > last:
+                    dead += n
+                elif marker > first:
+                    view = self._checked_view(si)
+                    dead += sum(
+                        1
+                        for _, ref in view.iter_refs(first, marker)
+                        if ref.device_id == device_id
+                    )
+        return dead
 
     @property
     def key_point_count(self) -> int:
-        return sum(ref.n_key_points for ref in self._records)
+        if not self._max_tomb:
+            return sum(view.total_key_points for view in self._views)
+        return sum(ref.n_key_points for ref in self._iter_live())
 
     @property
     def segment_names(self) -> List[str]:
@@ -489,21 +855,43 @@ class TrajectoryStore:
         return total
 
     def time_span(self) -> Tuple[float, float] | None:
-        if not self._records:
+        if not self._max_tomb:
+            lo, hi = None, None
+            for view in self._views:
+                env = view.envelope()
+                if env is None:
+                    continue
+                lo = env[0] if lo is None or env[0] < lo else lo
+                hi = env[1] if hi is None or env[1] > hi else hi
+            return None if lo is None else (lo, hi)
+        spans = [(ref.t_min, ref.t_max) for ref in self._iter_live()]
+        if not spans:
             return None
-        return (
-            min(ref.t_min for ref in self._records),
-            max(ref.t_max for ref in self._records),
-        )
+        return (min(s[0] for s in spans), max(s[1] for s in spans))
 
     def bbox(self) -> Tuple[float, float, float, float] | None:
-        if not self._records:
+        if not self._max_tomb:
+            box = None
+            for view in self._views:
+                env = view.envelope()
+                if env is None:
+                    continue
+                if box is None:
+                    box = [env[2], env[4], env[3], env[5]]
+                else:
+                    box[0] = min(box[0], env[2])
+                    box[1] = min(box[1], env[4])
+                    box[2] = max(box[2], env[3])
+                    box[3] = max(box[3], env[5])
+            return None if box is None else tuple(box)
+        refs = [ref for ref in self._iter_live()]
+        if not refs:
             return None
         return (
-            min(ref.x_min for ref in self._records),
-            min(ref.y_min for ref in self._records),
-            max(ref.x_max for ref in self._records),
-            max(ref.y_max for ref in self._records),
+            min(ref.x_min for ref in refs),
+            min(ref.y_min for ref in refs),
+            max(ref.x_max for ref in refs),
+            max(ref.y_max for ref in refs),
         )
 
     # -- compaction ----------------------------------------------------------
@@ -512,10 +900,11 @@ class TrajectoryStore:
         """Rewrite live records into fresh segments; drop dead data.
 
         Live records are re-framed (in append order) into new segment
-        files, the manifest is atomically repointed at them, and the old
-        files — plus any orphans a crashed compaction left behind — are
-        deleted.  Returns ``{"records": live, "bytes_before": ...,
-        "bytes_after": ...}``.
+        files — each with its index sidecar — the manifest is atomically
+        repointed at them with a bumped generation, and the old files
+        (log and sidecar alike, plus any orphans a crashed compaction
+        left behind) are deleted.  Returns ``{"records": live,
+        "bytes_before": ..., "bytes_after": ...}``.
         """
         if self._closed:
             raise RuntimeError("store is closed")
@@ -532,13 +921,13 @@ class TrajectoryStore:
         # across the run (records are indexed in append order, so source
         # segments are visited consecutively).
         new_segments: List[str] = []
-        new_refs: List[RecordRef] = []
+        new_views: List[ScannedSegment] = []
         handle = None
         size = 0
         src_name: str | None = None
         src_handle = None
         try:
-            for ref in list(self._records):
+            for ref in self._iter_live():
                 if ref.segment != src_name:
                     if src_handle is not None:
                         src_handle.close()
@@ -550,10 +939,12 @@ class TrajectoryStore:
                 )
                 if handle is None or size >= self._segment_max_bytes:
                     if handle is not None:
+                        handle.flush()
                         handle.close()
                     name = _SEGMENT_FMT.format(self._next_segment)
                     self._next_segment += 1
                     new_segments.append(name)
+                    new_views.append(ScannedSegment(name))
                     # "wb" truncates an orphan from an earlier crashed
                     # compaction that reused this segment number.
                     handle = open(self.directory / name, "wb")
@@ -563,7 +954,7 @@ class TrajectoryStore:
                 handle.write(frame)
                 handle.write(payload)
                 size += len(frame) + len(payload)
-                new_refs.append(
+                new_views[-1].append_ref(
                     RecordRef(
                         device_id=ref.device_id,
                         segment=new_segments[-1],
@@ -593,31 +984,44 @@ class TrajectoryStore:
             if handle is not None:
                 handle.close()
 
-        # Commit point: the manifest now names only the new segments.
+        # Every new segment gets its sidecar before the commit point, so
+        # the compacted store opens lazily from the first reopen on.
+        for view in new_views:
+            self._regenerate_sidecar(view)
+
+        # Commit point: the manifest now names only the new segments, at
+        # the next generation (stale-reader detection).
         self._segments = new_segments
+        self._generation += 1
         self._write_manifest()
 
         # Rebuild the index over the new layout.
-        self._records = new_refs
-        self._by_device = {}
-        for ref in new_refs:
-            self._by_device.setdefault(ref.device_id, []).append(ref)
+        for view in self._views:
+            view.close()
+        self._views = list(new_views)
+        self._seg_pos = {name: i for i, name in enumerate(new_segments)}
+        self._max_tomb = {}
         self._active = new_segments[-1] if new_segments else None
         self._active_size = (
             (self.directory / self._active).stat().st_size
             if self._active is not None
             else 0
         )
+        self._tail_dirty = False
 
-        # Old segments (and any orphans from earlier crashes) are dead.
+        # Old segments (and any orphans from earlier crashes) are dead —
+        # logs and sidecars both.
         live = set(new_segments)
         for path in self.directory.glob("seg-*.log"):
             if path.name not in live:
                 path.unlink()
+        for path in self.directory.glob("seg-*.idx"):
+            if path.with_suffix(".log").name not in live:
+                path.unlink()
         for name in old_segments:
             self.scan_report.pop(name, None)
         return {
-            "records": len(new_refs),
+            "records": sum(v.n_rows for v in new_views),
             "bytes_before": bytes_before,
             "bytes_after": self.total_bytes(),
         }
@@ -631,10 +1035,13 @@ class TrajectoryStore:
                 os.fsync(self._handle.fileno())
 
     def close(self) -> None:
+        self._seal_tail()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
         self._close_read_handle()
+        for view in self._views:
+            view.close()
         self._closed = True
 
     def __enter__(self) -> "TrajectoryStore":
@@ -644,13 +1051,185 @@ class TrajectoryStore:
         self.close()
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self.record_count
 
     def __repr__(self) -> str:
         return (
             f"TrajectoryStore({str(self.directory)!r}, "
-            f"records={len(self._records)}, segments={len(self._segments)})"
+            f"records={self.record_count}, segments={len(self._segments)})"
         )
+
+
+# -- migration ----------------------------------------------------------------
+
+
+def migrate_store(
+    directory: str | os.PathLike,
+    *,
+    segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+) -> Dict[str, int]:
+    """Upgrade a store directory to the current format, in place.
+
+    * **format 1** (no UTM frame in the envelope): every record payload is
+      rewritten with zone 0 / north (the honest stamp — those stores were
+      ingested from already-planar fixes) into fresh segment files, the
+      manifest is atomically repointed, and the old segments deleted.
+      Damaged tails are dropped, exactly as an open would have dropped
+      them.
+    * **format 2**: the record bytes are already current; the manifest is
+      rewritten with the generation counter.
+    * **current format**: nothing to convert.
+
+    In every case the migration finishes by writing an index sidecar for
+    each segment, so the migrated store opens lazily.  Unknown formats
+    are refused with a clear error.  Returns a summary dict.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise ValueError(
+            f"{directory}: no {_MANIFEST} — cannot determine the store "
+            "format (not a store, or one predating manifests; re-ingest)"
+        )
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    fmt = int(doc.get("format", 1))
+    dropped = 0
+    if fmt == _FORMAT:
+        pass
+    elif fmt == 2:
+        doc["format"] = _FORMAT
+        doc.setdefault("generation", 0)
+        _atomic_manifest(directory, doc)
+    elif fmt == 1:
+        dropped = _migrate_format1(directory, doc, segment_max_bytes)
+    else:
+        raise ValueError(
+            f"{directory}: store format {fmt} is not supported by migrate "
+            f"(known formats: 1, 2, {_FORMAT})"
+        )
+    with TrajectoryStore(directory) as store:
+        sidecars = store.reindex()
+        return {
+            "from_format": fmt,
+            "migrated": int(fmt != _FORMAT),
+            "records": store.record_count,
+            "segments": len(store.segment_names),
+            "sidecars": sidecars,
+            "dropped_bytes": dropped,
+        }
+
+
+def _atomic_manifest(directory: Path, doc: dict) -> None:
+    tmp = directory / (_MANIFEST + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / _MANIFEST)
+
+
+def _migrate_format1(
+    directory: Path, doc: dict, segment_max_bytes: int
+) -> int:
+    """Rewrite format-1 segments as format-2/3 payloads; returns dropped
+    (unreadable) byte count."""
+    old_segments = [
+        name
+        for name in doc.get("segments", [])
+        if (directory / name).exists()
+    ]
+    next_segment = int(doc.get("next_segment", 1))
+    new_segments: List[str] = []
+    handle = None
+    size = 0
+    dropped = 0
+
+    def roll():
+        nonlocal handle, size, next_segment
+        if handle is not None:
+            handle.flush()
+            os.fsync(handle.fileno())
+            handle.close()
+        name = _SEGMENT_FMT.format(next_segment)
+        next_segment += 1
+        new_segments.append(name)
+        handle = open(directory / name, "wb")
+        size = 0
+
+    try:
+        for name in old_segments:
+            with open(directory / name, "rb") as src:
+                data = src.read()
+            pos = 0
+            end = len(data)
+            while pos + _FRAME.size <= end:
+                length, crc = _FRAME.unpack_from(data, pos)
+                if length == 0:
+                    break
+                payload_start = pos + _FRAME.size
+                payload_end = payload_start + length
+                if payload_end > end:
+                    break
+                payload = data[payload_start:payload_end]
+                if zlib.crc32(payload) != crc:
+                    break
+                try:
+                    new_payload = _upgrade_v1_payload(payload)
+                except (CodecError, IndexError, UnicodeDecodeError):
+                    break
+                if handle is None or size >= segment_max_bytes:
+                    roll()
+                frame = _FRAME.pack(
+                    len(new_payload), zlib.crc32(new_payload)
+                )
+                handle.write(frame)
+                handle.write(new_payload)
+                size += len(frame) + len(new_payload)
+                pos = payload_end
+            if pos < end:
+                dropped += end - pos
+    finally:
+        if handle is not None:
+            handle.flush()
+            os.fsync(handle.fileno())
+            handle.close()
+
+    _atomic_manifest(
+        directory,
+        {
+            "format": _FORMAT,
+            "segments": new_segments,
+            "next_segment": next_segment,
+            "generation": 0,
+        },
+    )
+    live = set(new_segments)
+    for path in directory.glob("seg-*.log"):
+        if path.name not in live:
+            path.unlink()
+    for path in directory.glob("seg-*.idx"):
+        path.unlink()
+    return dropped
+
+
+def _upgrade_v1_payload(payload: bytes) -> bytes:
+    """One format-1 payload re-encoded with the zone/hemisphere bytes."""
+    rtype = payload[0]
+    id_len, p = _read_uvarint(payload, 1)
+    payload[p : p + id_len].decode("utf-8")  # validate like the open scan
+    p += id_len
+    if rtype == _RT_TOMBSTONE:
+        return payload  # identical layout in every format
+    if rtype != _RT_TRAJECTORY:
+        raise CodecError(f"unknown record type {rtype}")
+    env_end = p + _ENVELOPE_V1.size
+    if env_end > len(payload):
+        raise CodecError("truncated envelope")
+    # Splice the two new envelope bytes (zone 0 = unstamped, north) in
+    # after the 7 doubles; everything else is byte-compatible.
+    return payload[:env_end] + b"\x00\x00" + payload[env_end:]
 
 
 class StoreSink:

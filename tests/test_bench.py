@@ -122,13 +122,22 @@ class TestCLI:
                 "--no-fleet",
                 "--no-storage",
                 "--no-geodetic",
+                "--scale-sizes", "1500",
+                "--scale-devices", "30",
                 "--out", str(out),
             ]
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 4
+        assert doc["schema"] == 5
         assert doc["geodetic"] is None
+        assert len(doc["scale"]) == 1
+        scale = doc["scale"][0]
+        assert scale["records"] == 1500
+        assert scale["segments"] >= 1
+        assert scale["matches"] > 0
+        assert scale["open_indexed_seconds"] > 0
+        assert scale["open_scan_seconds"] > 0
         assert doc["baselines"] == {"pre_pr_bqs_pps": 1234.5}
         assert doc["workloads"]["random_walk"]["points"] == 400
         keys = {(r["workload"], r["algorithm"]) for r in doc["results"]}

@@ -476,7 +476,8 @@ class TestStoreFormat:
         with TrajectoryStore(tmp_path / "s") as store:
             store.append("d", _trajectory(_walk(0.0, 0.0)))
         doc = _json.loads((tmp_path / "s" / "manifest.json").read_text())
-        assert doc["format"] == 2
+        assert doc["format"] == 3
+        assert doc["generation"] == 0
 
     def test_old_format_rejected_with_clear_error(self, tmp_path):
         import json as _json
