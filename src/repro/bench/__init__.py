@@ -20,7 +20,13 @@ results.
 """
 
 from .compare import diff_benches, format_diff, load_bench_file
-from .fleet import FleetRecord, fleet_digest, run_fleet_bench
+from .fleet import (
+    DirtyFleetRecord,
+    FleetRecord,
+    fleet_digest,
+    run_dirty_fleet_bench,
+    run_fleet_bench,
+)
 from .geodetic import GeoFleetRecord, ProjectionRecord, run_geodetic_bench
 from .harness import (
     BenchError,
@@ -43,6 +49,7 @@ from .workloads import (
 __all__ = [
     "BenchError",
     "BenchRecord",
+    "DirtyFleetRecord",
     "FleetRecord",
     "GeoFleetRecord",
     "ProjectionRecord",
@@ -60,6 +67,7 @@ __all__ = [
     "percentile",
     "random_walk",
     "run_bench",
+    "run_dirty_fleet_bench",
     "run_fleet_bench",
     "run_geodetic_bench",
     "vehicle_route",

@@ -35,7 +35,7 @@ import sys
 from typing import Sequence
 
 from .compare import diff_benches, format_diff, load_bench_file
-from .fleet import run_fleet_bench
+from .fleet import run_dirty_fleet_bench, run_fleet_bench
 from .geodetic import run_geodetic_bench
 from .harness import default_factories, run_bench
 from .storage import run_scale_bench, run_storage_bench
@@ -97,6 +97,31 @@ def _format_fleet(records) -> str:
             f"{r.wall_seconds:>9.3f}{r.trajectories:>7}{r.key_points:>8}"
             f"  {r.key_digest}"
         )
+    return "\n".join(lines)
+
+
+def _format_dirty_fleet(r) -> str:
+    feed = r.feed
+    dropped = (
+        ", ".join(f"{k}={v}" for k, v in sorted(feed["dropped"].items()))
+        or "none"
+    )
+    splits = (
+        ", ".join(f"{k}={v}" for k, v in sorted(feed["splits"].items()))
+        or "none"
+    )
+    lines = [
+        f"dirty fleet ({r.devices}x{r.fixes_per_device}, "
+        f"{r.dirty_fixes} dirty fixes: +{r.dups} dup, {r.swaps} late, "
+        f"{r.teleports} teleport, {r.gaps} gap)",
+        "-" * 72,
+        f"ingest: {r.fixes_per_sec:,.0f} fixes/s -> {r.trajectories} "
+        f"trajectories, {r.key_points} keys, max deviation "
+        f"{r.max_deviation:.2f} m (epsilon {r.epsilon})",
+        f"feed: {feed['fixes_in']} in -> {feed['fixes_out']} compressed, "
+        f"dropped ({dropped}), splits ({splits})",
+        f"digests: dirty {r.key_digest}, clean {r.clean_digest}",
+    ]
     return "\n".join(lines)
 
 
@@ -231,6 +256,12 @@ def main_run(argv: Sequence[str]) -> int:
         "--no-fleet",
         action="store_true",
         help="skip the multi-stream fleet benchmark",
+    )
+    parser.add_argument(
+        "--no-dirty-fleet",
+        action="store_true",
+        help="skip the dirty-fleet benchmark (sanitizer over injected "
+        "disorder, audited against ground truth)",
     )
     parser.add_argument(
         "--no-storage",
@@ -370,6 +401,17 @@ def main_run(argv: Sequence[str]) -> int:
             progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
         )
 
+    dirty_fleet_record = None
+    if not (args.no_fleet or args.no_dirty_fleet):
+        dirty_fleet_record = run_dirty_fleet_bench(
+            _SMOKE_FLEET_DEVICES if args.smoke else args.fleet_devices,
+            _SMOKE_FLEET_FIXES if args.smoke else args.fleet_fixes,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            batch_size=args.fleet_batch,
+            progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+        )
+
     storage_record = None
     if not args.no_storage:
         storage_record = run_storage_bench(
@@ -411,7 +453,7 @@ def main_run(argv: Sequence[str]) -> int:
 
     out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
     document = {
-        "schema": 5,
+        "schema": 6,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -425,6 +467,11 @@ def main_run(argv: Sequence[str]) -> int:
         "baselines": baselines,
         "results": [r.to_json() for r in records],
         "fleet": [r.to_json() for r in fleet_records],
+        "dirty_fleet": (
+            dirty_fleet_record.to_json()
+            if dirty_fleet_record is not None
+            else None
+        ),
         "storage": (
             storage_record.to_json() if storage_record is not None else None
         ),
@@ -446,6 +493,9 @@ def main_run(argv: Sequence[str]) -> int:
     if fleet_records:
         print()
         print(_format_fleet(fleet_records))
+    if dirty_fleet_record is not None:
+        print()
+        print(_format_dirty_fleet(dirty_fleet_record))
     if storage_record is not None:
         print()
         print(_format_storage(storage_record))

@@ -128,6 +128,51 @@ def diff_benches(
             }
         )
 
+    # Dirty-fleet section (schema 6+): one record, joined on the workload
+    # shape.  Both digests are behaviour: the dirty digest pins the
+    # sanitizer's exact decisions over the injected disorder, the clean
+    # digest pins sanitizer-off output on clean input (it must also stay
+    # bit-identical to the clean fleet engine record).  The feed ledger is
+    # integer ground truth — any drift in drops/splits is a sanitizer
+    # behaviour change, never noise.
+    old_dirty = old.get("dirty_fleet")
+    new_dirty = new.get("dirty_fleet")
+    if old_dirty and new_dirty:
+        old_fps = float(old_dirty["fixes_per_sec"])
+        new_fps = float(new_dirty["fixes_per_sec"])
+        ratio = new_fps / old_fps if old_fps > 0.0 else float("inf")
+        timing_reasons = []
+        behaviour_reasons = []
+        if ratio < threshold:
+            timing_reasons.append(f"throughput fell to {ratio:.2f}x")
+        if (
+            old_dirty["devices"] == new_dirty["devices"]
+            and old_dirty["fixes_per_device"] == new_dirty["fixes_per_device"]
+        ):
+            if old_dirty["key_digest"] != new_dirty["key_digest"]:
+                behaviour_reasons.append(
+                    "dirty-feed output moved (digest differs)"
+                )
+            if old_dirty["clean_digest"] != new_dirty["clean_digest"]:
+                behaviour_reasons.append(
+                    "clean-feed output moved (digest differs)"
+                )
+            if old_dirty["feed"] != new_dirty["feed"]:
+                behaviour_reasons.append(
+                    "feed ledger changed (drops/splits moved)"
+                )
+        add_row(
+            {
+                "workload": "dirty-fleet",
+                "algorithm": "sanitized",
+                "old_points_per_sec": old_fps,
+                "new_points_per_sec": new_fps,
+                "ratio": ratio,
+                "reasons": timing_reasons + behaviour_reasons,
+                "behaviour": bool(behaviour_reasons),
+            }
+        )
+
     # Storage section (schema 3+): one record; the blob digest pins the
     # codec's exact bytes, the query digest pins both query answers.
     old_storage = old.get("storage")

@@ -24,34 +24,51 @@ interface:
 
 :mod:`repro.engine.simulate`
     Seeded fleet workload generator for benchmarks and demos
-    (``python -m repro.engine`` drives it end to end).
+    (``python -m repro.engine`` drives it end to end), including seeded
+    disorder injection for dirty-feed runs.
+
+:mod:`repro.engine.sanitize`
+    The feed sanitizer every engine can put in front of its compressors:
+    a :class:`SanitizePolicy` handles out-of-order, duplicate, non-finite
+    and teleporting fixes, splits streams at long silences and (geodetic)
+    UTM zone boundaries, and accounts every dropped fix in a
+    :class:`FeedReport`.
 """
 
-from .core import DeviceId, Fix, StreamEngine
+from .core import BatchIngestError, DeviceId, Fix, StreamEngine
 from .geodetic import GeoFix, GeoStreamEngine
+from .sanitize import FeedReport, FeedSanitizer, SanitizePolicy
 from .sharded import ShardedStreamEngine, shard_of
 from .simulate import (
+    DisorderSummary,
     bqs_fleet_factory,
     fleet_fixes,
     gps_fleet_fixes,
+    inject_disorder,
     iter_fix_batches,
     iter_geo_fix_batches,
 )
 from .sinks import CallbackSink, ListSink, Sink
 
 __all__ = [
+    "BatchIngestError",
     "CallbackSink",
     "DeviceId",
+    "DisorderSummary",
+    "FeedReport",
+    "FeedSanitizer",
     "Fix",
     "GeoFix",
     "GeoStreamEngine",
     "ListSink",
+    "SanitizePolicy",
     "ShardedStreamEngine",
     "Sink",
     "StreamEngine",
     "bqs_fleet_factory",
     "fleet_fixes",
     "gps_fleet_fixes",
+    "inject_disorder",
     "iter_fix_batches",
     "iter_geo_fix_batches",
     "shard_of",

@@ -45,12 +45,51 @@ from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from ..compression.base import StreamingCompressor
 from ..model.trajectory import CompressedTrajectory
+from .sanitize import FeedChunk, FeedCounters, FeedReport, FeedSanitizer, SanitizePolicy
 from .sinks import CallbackSink, ListSink, Sink
 
-__all__ = ["StreamEngine", "DeviceId", "Fix"]
+__all__ = ["BatchIngestError", "StreamEngine", "DeviceId", "Fix"]
 
 DeviceId = Hashable
 Fix = Tuple[DeviceId, float, float, float]  #: ``(device_id, t, x, y)``
+
+
+class BatchIngestError(ValueError):
+    """A batch failed mid-ingest; the valid prefix was consumed.
+
+    Raised by the engines' ``push_*`` methods when a device's columns are
+    rejected (a timestamp going backwards, a non-finite or out-of-domain
+    coordinate at the geodetic boundary).  The engine's accounting is
+    exact at the moment it propagates: :attr:`consumed` fixes from the
+    batch (of which :attr:`device_consumed` from the failing device) were
+    absorbed by compressors and are reflected in ``total_fixes``, device
+    recency, and the stream clock; not-yet-dispatched devices in the
+    batch are untouched.
+
+    Attributes:
+        device_id: the device whose columns failed.
+        index: index of the offending fix within the device's columns in
+            this batch, when the failure names one (geodetic validation);
+            ``None`` otherwise.
+        device_consumed: fixes from the failing device's columns consumed
+            before the error.
+        consumed: fixes consumed from the whole batch, all devices.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device_id: DeviceId,
+        index: int | None = None,
+        device_consumed: int = 0,
+        consumed: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.device_id = device_id
+        self.index = index
+        self.device_consumed = device_consumed
+        self.consumed = consumed
 
 
 def group_fix_stream(
@@ -105,12 +144,17 @@ def group_fix_columns(
 
 
 class _DeviceState:
-    __slots__ = ("compressor", "last_t", "fixes")
+    __slots__ = ("compressor", "last_t", "fixes", "sanitizer")
 
-    def __init__(self, compressor: StreamingCompressor) -> None:
+    def __init__(
+        self,
+        compressor: StreamingCompressor,
+        sanitizer: FeedSanitizer | None = None,
+    ) -> None:
         self.compressor = compressor
         self.last_t = -float("inf")
         self.fixes = 0
+        self.sanitizer = sanitizer
 
 
 class StreamEngine:
@@ -133,6 +177,14 @@ class StreamEngine:
         sink: any :class:`~repro.engine.sinks.Sink`; receives every sealed
             trajectory, eviction included.  The engine never closes it —
             its lifetime belongs to the caller.
+        policy: a :class:`~repro.engine.sanitize.SanitizePolicy` puts a
+            per-device :class:`~repro.engine.sanitize.FeedSanitizer` in
+            front of every compressor: dirty fixes are repaired or
+            dropped (and accounted in :meth:`feed_report`), gaps and
+            teleport rejoins split the stream into multiple sealed
+            trajectories.  ``None`` (the default) trusts the input and
+            keeps the raw fast path — output is bit-identical to the
+            engine without this parameter.
     """
 
     def __init__(
@@ -144,6 +196,7 @@ class StreamEngine:
         on_finish: Callable[[DeviceId, CompressedTrajectory], None] | None = None,
         collect: bool = True,
         sink: Sink | None = None,
+        policy: SanitizePolicy | None = None,
     ) -> None:
         if max_devices is not None and max_devices < 1:
             raise ValueError(f"max_devices must be >= 1, got {max_devices!r}")
@@ -169,6 +222,11 @@ class StreamEngine:
         if sink is not None:
             sinks.append(sink)
         self._sinks: tuple[Sink, ...] = tuple(sinks)
+        self._policy = policy
+        #: Sanitation ledgers per device id — persistent across splits,
+        #: evictions and stream rebirths, so the fleet-level report keeps
+        #: every fix a device ever sent accounted for.
+        self._feed_counters: Dict[DeviceId, FeedCounters] = {}
         self._clock = -float("inf")
         self._total_fixes = 0
         self._sealed = 0
@@ -208,6 +266,38 @@ class StreamEngine:
     def is_open(self, device_id: DeviceId) -> bool:
         """Whether a stream is currently open for this device."""
         return device_id in self._devices
+
+    @property
+    def policy(self) -> SanitizePolicy | None:
+        """The sanitization policy, or ``None`` on the trusted fast path."""
+        return self._policy
+
+    def feed_report(self) -> FeedReport:
+        """The merged sanitation ledger across every device ever seen.
+
+        Always reconciles: ``fixes_in == fixes_out + dropped + buffered``.
+        Empty (all zeros) when no policy is configured.
+        """
+        report = FeedReport()
+        for counters in self._feed_counters.values():
+            report = report.merged(counters.snapshot())
+        return report
+
+    def device_feed_reports(self) -> Dict[DeviceId, FeedReport]:
+        """Per-device sanitation ledgers (empty without a policy)."""
+        return {
+            device_id: counters.snapshot()
+            for device_id, counters in self._feed_counters.items()
+        }
+
+    def _counters(self, device_id: DeviceId) -> FeedCounters:
+        """The device's persistent ledger (front-ends charge boundary
+        drops here so they reconcile with the sanitizer's own counts)."""
+        counters = self._feed_counters.get(device_id)
+        if counters is None:
+            counters = FeedCounters()
+            self._feed_counters[device_id] = counters
+        return counters
 
     # -- ingestion -----------------------------------------------------------
 
@@ -265,12 +355,18 @@ class StreamEngine:
         backwards) has its valid prefix consumed — matching ``push_xyt``'s
         own partial-consumption contract — and the engine's accounting
         (per-device fix counts, recency, the stream clock) reflects exactly
-        what the compressors absorbed before the error propagates;
+        what the compressors absorbed before the error propagates as a
+        :class:`BatchIngestError` carrying the consumed counts;
         not-yet-dispatched devices in the batch are untouched.
         """
+        if self._policy is not None:
+            return self._dispatch_sanitized(groups)
         devices = self._devices
         consumed = 0
         batch_clock = self._clock
+        failure: ValueError | None = None
+        failed_device: DeviceId = None
+        failed_n = 0
         try:
             for device_id, (ts, xs, ys) in groups.items():
                 state = devices.get(device_id)
@@ -278,8 +374,12 @@ class StreamEngine:
                 if opened:
                     state = self._open_device(device_id)
                 before = state.compressor.pushed
+                n = 0
                 try:
                     state.compressor.push_xyt(ts, xs, ys)
+                except ValueError as exc:
+                    failure = exc
+                    failed_device = device_id
                 finally:
                     n = state.compressor.pushed - before
                     if n:
@@ -298,13 +398,91 @@ class StreamEngine:
                             # while healthy quiet devices get evicted.
                             del devices[device_id]
                             devices[device_id] = state
+                if failure is not None:
+                    failed_n = n
+                    break
         finally:
             self._total_fixes += consumed
             if batch_clock > self._clock:
                 self._clock = batch_clock
+        if failure is not None:
+            raise BatchIngestError(
+                f"device {failed_device!r}: {failure} "
+                f"[batch consumed {consumed} fixes, "
+                f"{failed_n} from this device]",
+                device_id=failed_device,
+                device_consumed=failed_n,
+                consumed=consumed,
+            ) from failure
         if self._idle_timeout is not None:
             self._evict_idle()
         return consumed
+
+    def _dispatch_sanitized(
+        self, groups: Dict[DeviceId, tuple[array, array, array]]
+    ) -> int:
+        """The policy path: every device's columns pass through its
+        :class:`FeedSanitizer` before its compressor.
+
+        Returns the number of *raw* fixes absorbed by the sanitizers —
+        the whole batch, since the sanitizer never rejects, it drops with
+        a reason or holds back in its reorder buffer.  ``total_fixes``
+        keeps counting what the compressors absorbed, so the gap between
+        the two is exactly the ledger's dropped + buffered counts.
+        """
+        devices = self._devices
+        consumed = 0
+        for device_id, (ts, xs, ys) in groups.items():
+            state = devices.get(device_id)
+            opened = state is None
+            if opened:
+                state = self._open_device(device_id)
+            consumed += len(ts)
+            chunks = state.sanitizer.process(ts, xs, ys)
+            if self._push_chunks(device_id, state, chunks) and not opened:
+                del devices[device_id]
+                devices[device_id] = state
+        if self._idle_timeout is not None:
+            self._evict_idle()
+        return consumed
+
+    def _push_chunks(
+        self, device_id: DeviceId, state: _DeviceState, chunks: List[FeedChunk]
+    ) -> bool:
+        """Feed sanitized chunks to the device's compressor, splitting the
+        stream where a chunk demands it; True if any fix was ingested."""
+        batch_clock = self._clock
+        pushed = 0
+        for seal_before, ts, xs, ys in chunks:
+            if seal_before and state.compressor.pushed:
+                self._split(device_id, state)
+            state.compressor.push_xyt(ts, xs, ys)
+            n = len(ts)
+            if n:
+                pushed += n
+                state.fixes += n
+                last = ts[n - 1]
+                if last > state.last_t:
+                    state.last_t = last
+                if last > batch_clock:
+                    batch_clock = last
+        if pushed:
+            self._total_fixes += pushed
+            if batch_clock > self._clock:
+                self._clock = batch_clock
+        return pushed > 0
+
+    def _split(self, device_id: DeviceId, state: _DeviceState) -> None:
+        """Seal the device's open stream in place and start a fresh one
+        (gap / teleport-rejoin splits) — the device stays open, so
+        front-end state keyed on open streams (the geodetic projection
+        registry) survives the split."""
+        trajectory = state.compressor.finish()
+        state.compressor = self._factory(device_id)
+        if trajectory.original_count:
+            self._sealed += 1
+            for sink in self._sinks:
+                sink.emit(device_id, trajectory)
 
     def _open_device(self, device_id: DeviceId) -> _DeviceState:
         devices = self._devices
@@ -312,7 +490,10 @@ class StreamEngine:
             while len(devices) >= self._max_devices:
                 oldest = next(iter(devices))
                 self._seal(oldest, evicted=True)
-        state = _DeviceState(self._factory(device_id))
+        sanitizer = None
+        if self._policy is not None:
+            sanitizer = FeedSanitizer(self._policy, self._counters(device_id))
+        state = _DeviceState(self._factory(device_id), sanitizer)
         devices[device_id] = state
         return state
 
@@ -330,13 +511,22 @@ class StreamEngine:
     # -- sealing -------------------------------------------------------------
 
     def _seal(self, device_id: DeviceId, evicted: bool) -> CompressedTrajectory:
-        state = self._devices.pop(device_id)
+        state = self._devices[device_id]
+        if state.sanitizer is not None:
+            # Drain the reorder buffer through the stages while the
+            # device is still open (a gap surfacing here still splits).
+            self._push_chunks(device_id, state, state.sanitizer.flush())
+        del self._devices[device_id]
         trajectory = state.compressor.finish()
-        self._sealed += 1
         if evicted:
             self._evicted += 1
-        for sink in self._sinks:
-            sink.emit(device_id, trajectory)
+        if state.sanitizer is None or trajectory.original_count:
+            # The policy path suppresses empty tails (every real fix was
+            # already sealed by a split); the trusted path emits exactly
+            # what it always has.
+            self._sealed += 1
+            for sink in self._sinks:
+                sink.emit(device_id, trajectory)
         return trajectory
 
     def finish_device(self, device_id: DeviceId) -> CompressedTrajectory:

@@ -26,18 +26,26 @@ A sealed device's projection is forgotten with its stream: a device that
 reappears after eviction re-selects its zone from its new first fix, the
 geodetic mirror of the engine's fresh-compressor semantics (a vehicle
 evicted in zone 32 may well wake up in zone 33).  A device that *crosses*
-a zone boundary mid-stream keeps its first fix's frame — UTM projects
-consistently outside the nominal strip, so the plane stays continuous;
-splitting at the boundary is future work (see ROADMAP).
+a zone boundary mid-stream keeps its first fix's frame by default — UTM
+projects consistently outside the nominal strip, so the plane stays
+continuous.  With a :class:`~repro.engine.sanitize.SanitizePolicy` whose
+``split_zones`` is on, the front-end instead **splits at the boundary**:
+the stream is sealed in the old frame (stamped with its zone like any
+seal) and reopened in the new zone selected from the first fix past the
+boundary, with ``zone_margin_deg`` of hysteresis so a device straddling
+the boundary does not shatter its track into per-fix trajectories.
 
 For multi-core scale-out, :class:`~repro.engine.sharded.
 ShardedStreamEngine` accepts ``geodetic=True`` and builds one
 ``GeoStreamEngine`` per worker — lat/lon columns cross the pipe and the
 projection work parallelizes with the compression.
 
-Latitude/longitude columns are trusted like every columnar input (no
-range validation per fix); a genuinely out-of-domain latitude surfaces as
-the projection's own ``ValueError`` / ``math domain error``.
+Latitude/longitude are validated **at this boundary** (finite, |lat| ≤
+90°, |lon| ≤ 180°): without a policy an invalid fix raises
+:class:`~repro.engine.core.BatchIngestError` naming the device and fix
+index *before* any of the batch is dispatched (instead of a bare ``math
+domain error`` from deep inside the projection); with a policy invalid
+fixes are dropped and charged to the device's feed ledger.
 """
 
 from __future__ import annotations
@@ -47,9 +55,22 @@ from dataclasses import replace
 from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from ..compression.base import StreamingCompressor
-from ..model.projection import UTMProjection
+from ..model.projection import UTMProjection, utm_zone_for
 from ..model.trajectory import CompressedTrajectory
-from .core import DeviceId, StreamEngine, group_fix_columns, group_fix_stream
+from .core import (
+    BatchIngestError,
+    DeviceId,
+    StreamEngine,
+    group_fix_columns,
+    group_fix_stream,
+)
+from .sanitize import (
+    SPLIT_ZONE,
+    FeedReport,
+    SanitizePolicy,
+    filter_geo_columns,
+    first_invalid_geo,
+)
 from .sinks import CallbackSink, ListSink, Sink
 
 __all__ = ["GeoStreamEngine", "GeoFix"]
@@ -67,17 +88,56 @@ def _stamped(
     return replace(trajectory, frame=projection)
 
 
+def _zone_cuts(
+    lats: Sequence[float],
+    lons: Sequence[float],
+    projection: UTMProjection,
+    margin: float,
+) -> List[int] | None:
+    """Indices where a device's columns exit their current UTM frame.
+
+    A fix cuts only when it is *both* outside the frame's nominal 6°
+    longitude strip widened by ``margin`` degrees of hysteresis *and*
+    assigned a different zone by :func:`utm_zone_for` (which honours the
+    Norway/Svalbard exceptions, so a zone-32V widening never splits).
+    Later fixes are judged against the frame opened at the previous cut.
+    Returns ``None`` on the no-split fast path — the whole batch stays
+    inside the widened strip, decided by two C-speed column scans.
+    """
+    west = projection.zone * 6.0 - 186.0
+    east = west + 6.0
+    if min(lons) >= west - margin and max(lons) <= east + margin:
+        return None
+    zone = projection.zone
+    cuts: List[int] = []
+    for i in range(len(lons)):
+        lon = lons[i]
+        if west - margin <= lon <= east + margin:
+            continue
+        new_zone = utm_zone_for(lats[i], lon)
+        if new_zone == zone:
+            continue
+        cuts.append(i)
+        zone = new_zone
+        west = zone * 6.0 - 186.0
+        east = west + 6.0
+    return cuts or None
+
+
 class _FrameStampSink:
     """Inner-engine sink: stamp the device's UTM frame, fan out, forget.
 
     Sits between the inner :class:`StreamEngine` and the caller-facing
     sinks so *every* seal path — ``finish_device``, ``finish_all``, LRU
-    and idle evictions — delivers zone-stamped trajectories.  Popping the
-    projection on seal keeps the registry bounded by *open* streams and
-    makes a reappearing device re-select its zone.
+    and idle evictions, and the policy path's gap/teleport splits —
+    delivers zone-stamped trajectories.  The projection is popped only
+    when the device's stream is actually closed (keeping the registry
+    bounded by *open* streams and making a reappearing device re-select
+    its zone); a mid-stream split emits with the device still open, and
+    the frame must survive for the sub-trajectories that follow.
     """
 
-    __slots__ = ("_projections", "_sinks")
+    __slots__ = ("_projections", "_sinks", "is_open")
 
     def __init__(
         self,
@@ -86,11 +146,17 @@ class _FrameStampSink:
     ) -> None:
         self._projections = projections
         self._sinks = tuple(sinks)
+        #: The inner engine's ``is_open`` — assigned right after that
+        #: engine is constructed (it takes this sink as an argument).
+        self.is_open: Callable[[DeviceId], bool] | None = None
 
     def emit(
         self, device_id: Hashable, trajectory: CompressedTrajectory
     ) -> None:
-        projection = self._projections.pop(device_id, None)
+        if self.is_open is not None and self.is_open(device_id):
+            projection = self._projections.get(device_id)
+        else:
+            projection = self._projections.pop(device_id, None)
         stamped = _stamped(trajectory, projection)
         for sink in self._sinks:
             sink.emit(device_id, stamped)
@@ -117,6 +183,12 @@ class GeoStreamEngine:
         collect: keep stamped trajectories in :attr:`results`.
         sink: any :class:`~repro.engine.sinks.Sink`; receives every
             stamped sealed stream, evictions included.
+        policy: a :class:`~repro.engine.sanitize.SanitizePolicy` enables
+            the feed sanitizer exactly as for :class:`StreamEngine`, plus
+            the geodetic-only behaviours: invalid lat/lon fixes are
+            dropped (instead of failing the batch) and, with
+            ``split_zones`` on, a device crossing a UTM zone boundary is
+            sealed in its old frame and reopened in the new.
     """
 
     def __init__(
@@ -128,6 +200,7 @@ class GeoStreamEngine:
         on_finish: Callable[[DeviceId, CompressedTrajectory], None] | None = None,
         collect: bool = True,
         sink: Sink | None = None,
+        policy: SanitizePolicy | None = None,
     ) -> None:
         #: Open streams' UTM projections (device id -> zone frame chosen
         #: from the device's first fix); entries live exactly as long as
@@ -142,13 +215,17 @@ class GeoStreamEngine:
             sinks.append(CallbackSink(on_finish))
         if sink is not None:
             sinks.append(sink)
+        stamp_sink = _FrameStampSink(self._projections, sinks)
         self._engine = StreamEngine(
             compressor_factory,
             max_devices=max_devices,
             idle_timeout=idle_timeout,
             collect=False,
-            sink=_FrameStampSink(self._projections, sinks),
+            sink=stamp_sink,
+            policy=policy,
         )
+        stamp_sink.is_open = self._engine.is_open
+        self._policy = policy
 
     # -- introspection -------------------------------------------------------
 
@@ -178,6 +255,19 @@ class GeoStreamEngine:
     def projection_for(self, device_id: DeviceId) -> UTMProjection | None:
         """The UTM frame of an *open* stream (``None`` once sealed)."""
         return self._projections.get(device_id)
+
+    @property
+    def policy(self) -> SanitizePolicy | None:
+        """The sanitization policy, or ``None`` on the trusted fast path."""
+        return self._policy
+
+    def feed_report(self) -> FeedReport:
+        """The merged sanitation ledger (boundary drops included)."""
+        return self._engine.feed_report()
+
+    def device_feed_reports(self) -> Dict[DeviceId, FeedReport]:
+        """Per-device sanitation ledgers (empty without a policy)."""
+        return self._engine.device_feed_reports()
 
     # -- ingestion -----------------------------------------------------------
 
@@ -213,24 +303,77 @@ class GeoStreamEngine:
     def _project_and_dispatch(
         self, groups: Dict[DeviceId, tuple[array, array, array]]
     ) -> int:
-        """Project each device's columns in its frame; feed the inner engine."""
+        """Validate, project each device's columns in its frame, dispatch.
+
+        Boundary validation comes first: without a policy one invalid
+        lat/lon fails the *whole* batch (consumed = 0) with the device
+        and index named; with a policy invalid fixes are dropped into the
+        device's ledger before zone selection or projection sees them.
+        With ``split_zones`` on, a device's columns are sliced at zone
+        exits — the first slice dispatches batched with everyone else's,
+        each continuation seals the old frame and reopens in the new.
+        """
         projections = self._projections
+        policy = self._policy
+        engine = self._engine
+        if policy is None:
+            for device_id, (ts, lats, lons) in groups.items():
+                bad = first_invalid_geo(lats, lons)
+                if bad is not None:
+                    index, reason, value = bad
+                    raise BatchIngestError(
+                        f"device {device_id!r}: fix {index}: {reason} "
+                        f"coordinate {value!r} [batch consumed 0 fixes]",
+                        device_id=device_id,
+                        index=index,
+                    )
+        else:
+            cleaned: Dict[DeviceId, tuple] = {}
+            for device_id, (ts, lats, lons) in groups.items():
+                ts, lats, lons = filter_geo_columns(
+                    ts, lats, lons, engine._counters(device_id)
+                )
+                if len(ts):
+                    cleaned[device_id] = (ts, lats, lons)
+            groups = cleaned
+        split_zones = policy is not None and policy.split_zones
         projected: Dict[DeviceId, tuple[array, array, array]] = {}
         batch_frames: Dict[DeviceId, UTMProjection] = {}
+        continuations: List[tuple] = []
         for device_id, (ts, lats, lons) in groups.items():
             projection = projections.get(device_id)
             if projection is None:
                 projection = UTMProjection.for_coordinate(lats[0], lons[0])
                 projections[device_id] = projection
             batch_frames[device_id] = projection
-            xs, ys = projection.forward_columns(lats, lons)
-            projected[device_id] = (ts, xs, ys)
+            cuts = (
+                _zone_cuts(lats, lons, projection, policy.zone_margin_deg)
+                if split_zones
+                else None
+            )
+            if not cuts:
+                xs, ys = projection.forward_columns(lats, lons)
+                projected[device_id] = (ts, xs, ys)
+            else:
+                first = cuts[0]
+                xs, ys = projection.forward_columns(lats[:first], lons[:first])
+                projected[device_id] = (ts[:first], xs, ys)
+                bounds = list(cuts) + [len(ts)]
+                continuations.append(
+                    (
+                        device_id,
+                        [
+                            (ts[s:e], lats[s:e], lons[s:e])
+                            for s, e in zip(bounds, bounds[1:])
+                        ],
+                    )
+                )
+        consumed = 0
         try:
-            return self._engine.push_grouped(projected)
+            consumed = engine.push_grouped(projected)
         finally:
-            # Re-sync the registry with the inner engine's open streams
-            # for every device this batch touched — dispatch can desync it
-            # in both directions:
+            # Re-sync the registry with the inner engine's open streams —
+            # dispatch can desync it in both directions:
             # * An eviction *inside* the dispatch (LRU cap hit by a new
             #   device, or the idle policy at batch end) pops the sealed
             #   stream's projection — but if fixes for that device later
@@ -241,22 +384,52 @@ class GeoStreamEngine:
             # * A dispatch error (e.g. backwards timestamps in another
             #   device's group) can leave a newly-registered device with
             #   no opened stream; drop the entry so its zone is
-            #   re-selected from the first fix actually ingested, and the
-            #   registry stays bounded by open streams.
+            #   re-selected from the first fix actually ingested.  The
+            #   policy path can also close a stream without an emit (an
+            #   all-dropped device sealed empty), which the stamp sink
+            #   never sees — prune every closed device so the registry
+            #   stays bounded by open streams.
             for device_id, projection in batch_frames.items():
-                if self._engine.is_open(device_id):
+                if engine.is_open(device_id):
                     projections.setdefault(device_id, projection)
-                else:
+            for device_id in [
+                d for d in projections if not engine.is_open(d)
+            ]:
+                del projections[device_id]
+        # Continuation slices (zone splits): seal what the device has in
+        # its old frame — the stamp sink delivers it zone-stamped like any
+        # seal — then reopen in the zone of the first fix past the
+        # boundary and dispatch the slice there.
+        for device_id, slices in continuations:
+            counters = engine._counters(device_id)
+            for ts, lats, lons in slices:
+                if engine.is_open(device_id):
+                    sealed = engine.finish_device(device_id)
+                    if sealed.original_count:
+                        counters.split(SPLIT_ZONE)
+                projection = UTMProjection.for_coordinate(lats[0], lons[0])
+                projections[device_id] = projection
+                xs, ys = projection.forward_columns(lats, lons)
+                consumed += engine.push_grouped({device_id: (ts, xs, ys)})
+                if not engine.is_open(device_id):
                     projections.pop(device_id, None)
+        return consumed
 
     # -- sealing -------------------------------------------------------------
 
     def finish_device(self, device_id: DeviceId) -> CompressedTrajectory:
         """Seal one device's stream now; returns the stamped trajectory."""
         projection = self._projections.get(device_id)
-        return _stamped(self._engine.finish_device(device_id), projection)
+        try:
+            return _stamped(self._engine.finish_device(device_id), projection)
+        finally:
+            # The stamp sink pops on emit, but the policy path suppresses
+            # empty seals — drop the entry unconditionally so a reborn
+            # device always re-selects its zone.
+            self._projections.pop(device_id, None)
 
     def finish_all(self) -> Dict[DeviceId, List[CompressedTrajectory]]:
         """Seal every open stream; returns the stamped collected results."""
         self._engine.finish_all()
+        self._projections.clear()
         return self.results

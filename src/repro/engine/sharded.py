@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterable, List, Sequence
 
 from ..model.trajectory import CompressedTrajectory
 from .core import DeviceId, Fix, StreamEngine
+from .sanitize import FeedReport, SanitizePolicy
 
 __all__ = ["ShardedStreamEngine", "shard_of"]
 
@@ -97,6 +98,7 @@ def _worker_main(
                 if failure is None:
                     try:
                         results = engine.finish_all()
+                        reports = engine.device_feed_reports()
                         if sink is not None:
                             sink.close()
                             sink = None
@@ -105,7 +107,9 @@ def _worker_main(
                 if failure is not None:
                     conn.send(("error", failure))
                 else:
-                    conn.send(("ok", results))
+                    # Devices are disjoint across shards, so the parent
+                    # can merge both mappings with plain dict updates.
+                    conn.send(("ok", results, reports))
                 return
             else:
                 conn.send(("error", f"unknown message tag {tag!r}"))
@@ -155,20 +159,27 @@ class ShardedStreamEngine:
         collect: bool = True,
         sink_factory: Callable[[int], object] | None = None,
         geodetic: bool = False,
+        policy: SanitizePolicy | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+        # SanitizePolicy is a frozen scalar dataclass, so it ships to the
+        # workers in the start-up pickle like the compressor factory.
         engine_kwargs = {
             "max_devices": max_devices,
             "idle_timeout": idle_timeout,
             "collect": collect,
+            "policy": policy,
         }
         self.workers = workers
         self._conns = []
         self._procs = []
         self._finished = False
+        #: Per-device sanitation ledgers, merged from the workers at
+        #: :meth:`finish_all` (empty before it, and without a policy).
+        self._device_reports: Dict[DeviceId, FeedReport] = {}
         try:
             for shard in range(workers):
                 parent_conn, child_conn = ctx.Pipe()
@@ -276,22 +287,39 @@ class ShardedStreamEngine:
                     errors.append(f"worker {shard} unreachable: {exc}")
             for shard, conn in enumerate(self._conns):
                 try:
-                    status, payload = conn.recv()
+                    reply = conn.recv()
                 except (EOFError, OSError) as exc:
                     # Worker died without replying (e.g. an exception
                     # outside its push handler); keep the healthy shards'
                     # results and report the casualty.
                     errors.append(f"worker {shard} died before replying: {exc!r}")
                     continue
-                if status == "ok":
-                    merged.update(payload)  # device ↛ two shards: keys disjoint
+                if reply[0] == "ok":
+                    # device ↛ two shards: both mappings' keys disjoint
+                    merged.update(reply[1])
+                    self._device_reports.update(reply[2])
                 else:
-                    errors.append(payload)
+                    errors.append(reply[1])
         finally:
             self.close()
         if errors:
             raise RuntimeError(f"sharded ingestion failed: {errors[0]}")
         return merged
+
+    def feed_report(self) -> FeedReport:
+        """The fleet-wide sanitation ledger, merged across every shard.
+
+        Populated by :meth:`finish_all` (the workers own the counters
+        until they seal); empty before it, and without a policy.
+        """
+        report = FeedReport()
+        for device_report in self._device_reports.values():
+            report = report.merged(device_report)
+        return report
+
+    def device_feed_reports(self) -> Dict[DeviceId, FeedReport]:
+        """Per-device ledgers merged at :meth:`finish_all` (see above)."""
+        return dict(self._device_reports)
 
     def close(self) -> None:
         """Tear the workers down (idempotent; called by ``finish_all``)."""

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import random
 from array import array
-from typing import Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from ..compression.bqs import BQSCompressor
 from ..compression.evaluate import synthetic_track
@@ -21,9 +22,11 @@ from ..model.columns import TrajectoryColumns
 from ..model.projection import LocalTangentProjection
 
 __all__ = [
+    "DisorderSummary",
     "bqs_fleet_factory",
     "fleet_fixes",
     "gps_fleet_fixes",
+    "inject_disorder",
     "iter_fix_batches",
     "iter_geo_fix_batches",
 ]
@@ -152,6 +155,159 @@ def gps_fleet_fixes(
         lats[k] = lat
         lons[k] = lon
     return ids, cols.ts, lats, lons
+
+
+@dataclass(frozen=True)
+class DisorderSummary:
+    """What :func:`inject_disorder` actually planted — the ground truth a
+    dirty-feed run is audited against (each artifact kind maps to exactly
+    one sanitizer counter under the matching policy)."""
+
+    swaps: int  #: adjacent same-device fixes exchanged in arrival order
+    dups: int  #: fixes emitted twice back to back
+    teleports: int  #: fixes displaced by the teleport offset
+    gaps: int  #: silences inserted by shifting a device's tail timestamps
+
+    @property
+    def artifacts(self) -> int:
+        return self.swaps + self.dups + self.teleports + self.gaps
+
+
+def inject_disorder(
+    device_ids: Sequence[str],
+    ts: Sequence[float],
+    c1: Sequence[float],
+    c2: Sequence[float],
+    *,
+    seed: int = 7,
+    swaps: int = 0,
+    dups: int = 0,
+    teleports: int = 0,
+    gaps: int = 0,
+    teleport_offset: float = 50_000.0,
+    gap_offset: float = 3_600.0,
+) -> Tuple[List[str], array, array, array, DisorderSummary]:
+    """A seeded dirty copy of an interleaved fleet stream.
+
+    Plants four artifact kinds into a clean ``(ids, ts, c1, c2)`` stream
+    (planar metres or geodetic degrees — the coordinate columns are
+    opaque):
+
+    * **swap** — two adjacent same-device fixes exchange their global
+      arrival positions: one fix arrives exactly one tick late.  Under a
+      drop-mode policy that is one ``out_of_order`` drop; with a reorder
+      buffer (``max_lateness >=`` the tick) it is repaired, counted in
+      ``reordered``, and the output matches the clean run.
+    * **dup** — a fix is emitted twice back to back: one ``duplicate``
+      drop.
+    * **teleport** — a fix's first coordinate is displaced by
+      ``teleport_offset`` (metres planar; pass degrees of *latitude* for
+      geodetic streams so the spike never crosses a UTM zone boundary):
+      one ``teleport`` drop under a max-speed gate.
+    * **gap** — a device's timestamps from a cut onward all shift by
+      ``gap_offset`` seconds: one ``gap`` split under a gap policy (and
+      no drops — every fix is genuine).
+
+    Artifact sites are chosen by a seeded RNG with at least two clean
+    fixes between any two artifacts on the same device and the first fix
+    of every device left untouched (so geodetic zone selection and the
+    speed gate's anchor see clean data).  The planted counts are exact —
+    the returned :class:`DisorderSummary` is ground truth the ingest's
+    :class:`~repro.engine.sanitize.FeedReport` can be asserted against —
+    and a placement that cannot satisfy the spacing raises ``ValueError``
+    rather than silently planting less.
+    """
+    n = len(device_ids)
+    if not (len(ts) == len(c1) == len(c2) == n):
+        raise ValueError(
+            "ids/columns length mismatch: "
+            f"ids={n}, ts={len(ts)}, c1={len(c1)}, c2={len(c2)}"
+        )
+    for name, count in (
+        ("swaps", swaps),
+        ("dups", dups),
+        ("teleports", teleports),
+        ("gaps", gaps),
+    ):
+        if count < 0:
+            raise ValueError(f"{name} must be >= 0, got {count!r}")
+    # Device-local fix positions in the global stream, in arrival order.
+    positions: Dict[str, List[int]] = {}
+    for g, device_id in enumerate(device_ids):
+        positions.setdefault(device_id, []).append(g)
+    names = list(positions)
+    rng = random.Random(seed * 65_537 + n)
+    used: Dict[str, Set[int]] = {name: set() for name in names}
+
+    def place(kind: str, lo_pad: int, hi_pad: int, footprint: int) -> Tuple[str, int]:
+        """A seeded (device, device-local index) site with ±2 spacing from
+        every other artifact on that device."""
+        for _ in range(400):
+            device_id = names[rng.randrange(len(names))]
+            length = len(positions[device_id])
+            lo, hi = lo_pad, length - hi_pad
+            if hi <= lo:
+                continue
+            j = rng.randrange(lo, hi)
+            taken = used[device_id]
+            if any(
+                abs(j + k - u) <= 2 for u in taken for k in range(footprint)
+            ):
+                continue
+            for k in range(footprint):
+                taken.add(j + k)
+            return device_id, j
+        raise ValueError(
+            f"could not place {kind} artifact: stream too small or too "
+            f"dirty for the requested counts"
+        )
+
+    ts_out = array("d", ts)
+    c1_out = array("d", c1)
+    c2_out = array("d", c2)
+    # Gaps first: they rewrite a suffix of a device's timestamps, which
+    # every later artifact must see (a swap near the shifted region still
+    # swaps fixes 1 tick apart, both shifted identically).
+    for _ in range(gaps):
+        device_id, j = place("gap", 2, 3, 2)
+        for g in positions[device_id][j:]:
+            ts_out[g] += gap_offset
+    for _ in range(teleports):
+        device_id, j = place("teleport", 1, 2, 1)
+        c1_out[positions[device_id][j]] += teleport_offset
+    swap_map: Dict[int, int] = {}
+    for _ in range(swaps):
+        device_id, j = place("swap", 1, 2, 2)
+        a = positions[device_id][j]
+        b = positions[device_id][j + 1]
+        swap_map[a] = b
+        swap_map[b] = a
+    dup_sites: Set[int] = set()
+    for _ in range(dups):
+        device_id, j = place("dup", 1, 1, 1)
+        dup_sites.add(positions[device_id][j])
+    ids_dirty: List[str] = []
+    ts_dirty = array("d")
+    c1_dirty = array("d")
+    c2_dirty = array("d")
+    for g in range(n):
+        source = swap_map.get(g, g)
+        ids_dirty.append(device_ids[source])
+        ts_dirty.append(ts_out[source])
+        c1_dirty.append(c1_out[source])
+        c2_dirty.append(c2_out[source])
+        if g in dup_sites:
+            ids_dirty.append(device_ids[g])
+            ts_dirty.append(ts_out[g])
+            c1_dirty.append(c1_out[g])
+            c2_dirty.append(c2_out[g])
+    return (
+        ids_dirty,
+        ts_dirty,
+        c1_dirty,
+        c2_dirty,
+        DisorderSummary(swaps=swaps, dups=dups, teleports=teleports, gaps=gaps),
+    )
 
 
 def iter_geo_fix_batches(

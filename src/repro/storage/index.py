@@ -354,15 +354,25 @@ def write_sidecar(
 
     path = Path(path)
     tmp = path.with_suffix(".idx.tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(_HEADER)
-        handle.write(rows_b)
-        handle.write(meta)
-        handle.write(footer)
-        if fsync:
-            handle.flush()
-            os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(_HEADER)
+            handle.write(rows_b)
+            handle.write(meta)
+            handle.write(footer)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        # A half-written tmp must not outlive the failure: a later rename
+        # (or a naive glob) could promote a truncated sidecar.  The store
+        # falls back to scan mode either way.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _row_to_ref(segment: str, devices: List[str], row: tuple) -> RecordRef:

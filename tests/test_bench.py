@@ -129,8 +129,9 @@ class TestCLI:
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 5
+        assert doc["schema"] == 6
         assert doc["geodetic"] is None
+        assert doc["dirty_fleet"] is None  # rides with --no-fleet
         assert len(doc["scale"]) == 1
         scale = doc["scale"][0]
         assert scale["records"] == 1500
@@ -314,6 +315,92 @@ class TestFleetBench:
         b = {"dev": [BQSCompressor(5.0).compress(track)]}
         assert fleet_digest(a) == fleet_digest(a)
         assert fleet_digest(a) != fleet_digest(b)
+
+
+class TestDirtyFleetBench:
+    def test_record_fields_and_invariants(self):
+        from repro.bench import run_dirty_fleet_bench
+
+        r = run_dirty_fleet_bench(6, 60, epsilon=10.0, seed=3, batch_size=256)
+        # The function itself asserts the four robustness invariants
+        # (ledger exact, lossless sub-trajectories, deviation <= epsilon,
+        # clean-input transparency); here we pin the record shape.
+        assert r.devices == 6 and r.fixes_per_device == 60
+        assert r.clean_fixes == 360
+        assert r.dirty_fixes > r.clean_fixes  # dups add fixes
+        assert r.fixes_per_sec > 0.0
+        assert r.max_deviation <= r.epsilon
+        assert len(r.key_digest) == 16 and len(r.clean_digest) == 16
+        assert r.key_digest != r.clean_digest  # disorder moved the output
+        assert r.feed["fixes_in"] == r.dirty_fixes
+        assert r.feed["buffered"] == 0
+        doc = r.to_json()
+        json.dumps(doc)
+        assert doc["policy"]["max_speed_mps"] == 50.0
+        assert doc["feed"]["dropped"] != {}
+
+    def test_clean_digest_matches_fleet_bench(self):
+        """The dirty bench's clean leg and the fleet bench run the same
+        stream: their digests must agree, tying the two sections."""
+        from repro.bench import run_dirty_fleet_bench, run_fleet_bench
+
+        fleet = run_fleet_bench(
+            6, 60, epsilon=10.0, seed=3, batch_size=256, worker_counts=()
+        )
+        dirty = run_dirty_fleet_bench(6, 60, epsilon=10.0, seed=3, batch_size=256)
+        assert dirty.clean_digest == fleet[0].key_digest
+
+    def test_size_validation(self):
+        from repro.bench import BenchError, run_dirty_fleet_bench
+
+        with pytest.raises(BenchError):
+            run_dirty_fleet_bench(2, 60)
+        with pytest.raises(BenchError):
+            run_dirty_fleet_bench(6, 10)
+
+    def test_compare_flags_dirty_fleet_behaviour(self, tmp_path, capsys):
+        def doc(key_digest, clean_digest, dropped, fps=1000.0):
+            return {
+                "schema": 6,
+                "results": [],
+                "dirty_fleet": {
+                    "devices": 6,
+                    "fixes_per_device": 60,
+                    "fixes_per_sec": fps,
+                    "key_digest": key_digest,
+                    "clean_digest": clean_digest,
+                    "feed": {
+                        "fixes_in": 370,
+                        "fixes_out": 350,
+                        "buffered": 0,
+                        "reordered": 0,
+                        "dropped": dropped,
+                        "splits": {"gap": 1},
+                    },
+                },
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        base = doc("a" * 16, "c" * 16, {"duplicate": 20})
+        old.write_text(json.dumps(base))
+        new.write_text(json.dumps(base))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        capsys.readouterr()
+        # Dirty digest drift is behaviour.
+        new.write_text(json.dumps(doc("b" * 16, "c" * 16, {"duplicate": 20})))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+        assert "dirty-feed output moved" in capsys.readouterr().out
+        # Ledger drift is behaviour even with identical digests.
+        new.write_text(json.dumps(doc("a" * 16, "c" * 16, {"duplicate": 19})))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+        assert "feed ledger changed" in capsys.readouterr().out
+        # Timing-only drift warns but passes the behaviour gate.
+        new.write_text(
+            json.dumps(doc("a" * 16, "c" * 16, {"duplicate": 20}, fps=100.0))
+        )
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        assert "throughput fell" in capsys.readouterr().out
 
 
 class TestProfileFlag:

@@ -13,9 +13,12 @@ import pytest
 
 from repro.compression import BQSCompressor, FastBQSCompressor
 from repro.engine import (
+    BatchIngestError,
+    SanitizePolicy,
     ShardedStreamEngine,
     StreamEngine,
     fleet_fixes,
+    inject_disorder,
     iter_fix_batches,
     shard_of,
 )
@@ -211,6 +214,30 @@ class TestStreamEngine:
         with pytest.raises(ValueError):
             StreamEngine(_factory, idle_timeout=0.0)
 
+    def test_mid_batch_error_reports_consumption(self):
+        """The trusted path's mid-batch failure is a BatchIngestError (a
+        ValueError, so existing handlers keep working) that names the
+        device, the failing fix index within the device's columns, and
+        how much of the batch WAS consumed — the caller's resume point."""
+        engine = StreamEngine(_factory)
+        with pytest.raises(BatchIngestError) as info:
+            engine.push_batch(
+                [
+                    ("a", 0.0, 0.0, 0.0),
+                    ("a", 1.0, 1.0, 0.0),
+                    ("b", 10.0, 0.0, 0.0),
+                    ("b", 5.0, 0.0, 0.0),
+                ]
+            )
+        err = info.value
+        assert isinstance(err, ValueError)
+        assert err.device_id == "b"
+        assert err.device_consumed == 1  # b's valid prefix
+        assert err.consumed == 3  # a: 2, b: 1 — matches engine.total_fixes
+        assert engine.total_fixes == 3
+        assert "consumed 3 fixes" in str(err)
+        assert "'b'" in str(err)
+
 
 class TestShardedStreamEngine:
     def test_shard_of_is_stable_and_total(self):
@@ -298,6 +325,95 @@ class TestEngineCLI:
         assert main(["--devices", "5", "--fixes", "40", "--workers", "2"]) == 0
         assert "trajectories" in capsys.readouterr().out
 
+    def test_main_dirty_check_feed(self, capsys):
+        """The CI smoke path: inject known disorder, sanitize, and demand
+        the ledger equals the injection ground truth exactly."""
+        from repro.engine.__main__ import main
+
+        assert main(
+            [
+                "--devices", "6", "--fixes", "60", "--dirty",
+                "--swaps", "4", "--dups", "3", "--teleports", "2",
+                "--gaps", "1", "--check-feed",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "duplicate=3" in out
+        assert "out_of_order=4" in out
+        assert "teleport=2" in out
+        assert "gap=1" in out
+        assert "feed report matches injection ground truth" in out
+
+    def test_main_dirty_check_feed_reorder_mode(self, capsys):
+        from repro.engine.__main__ import main
+
+        assert main(
+            [
+                "--devices", "5", "--fixes", "50", "--dirty",
+                "--swaps", "5", "--max-lateness", "2.0", "--check-feed",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reordered 5" in out
+        assert "out_of_order" not in out  # repaired, not dropped
+
+    def test_main_dirty_flag_validation(self, capsys):
+        from repro.engine.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--devices", "5", "--fixes", "40", "--swaps", "3"])
+        with pytest.raises(SystemExit):
+            main(["--devices", "5", "--fixes", "40", "--check-feed"])
+        assert "--dirty" in capsys.readouterr().err
+
+    def test_ingest_csv(self, tmp_path, capsys):
+        from repro.engine.__main__ import main
+
+        csv_path = tmp_path / "feed.csv"
+        csv_path.write_text(
+            "device_id,t,x,y\n"
+            "a,0.0,0.0,0.0\n"
+            "a,1.0,1.0,0.0\n"
+            "a,1.0,9.0,0.0\n"  # duplicate timestamp
+            "a,0.5,0.5,0.0\n"  # out of order
+            "b,0.0,5.0,5.0\n"
+            "b,1.0,6.0,5.0\n"
+            "b,5000.0,7.0,5.0\n"  # gap -> split
+        )
+        assert main(["ingest-csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "7 rows" in out
+        assert "3 trajectories" in out  # a, b before gap, b after gap
+        assert "duplicate=1" in out and "out_of_order=1" in out
+        assert "gap=1" in out
+
+    def test_ingest_csv_to_store(self, tmp_path, capsys):
+        from repro.engine.__main__ import main
+        from repro.storage import TrajectoryStore
+
+        csv_path = tmp_path / "feed.csv"
+        csv_path.write_text(
+            "device_id,t,x,y\n"
+            + "\n".join(f"a,{i}.0,{i}.0,0.0" for i in range(20))
+            + "\n"
+        )
+        store_dir = tmp_path / "store"
+        assert main(
+            ["ingest-csv", str(csv_path), "--store", str(store_dir)]
+        ) == 0
+        with TrajectoryStore(store_dir) as store:
+            assert list(store.devices()) == ["a"]
+            assert store.record_count == 1
+
+    def test_ingest_csv_malformed_row_fails_loudly(self, tmp_path, capsys):
+        from repro.engine.__main__ import main
+
+        csv_path = tmp_path / "feed.csv"
+        csv_path.write_text("device_id,t,x,y\na,0.0,0.0,0.0\na,not-a-number,1.0,0.0\n")
+        assert main(["ingest-csv", str(csv_path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 3" in err
+
 
 class TestSinks:
     """Sealed streams flow through the Sink protocol — eviction included."""
@@ -377,3 +493,124 @@ class TestSinks:
 
         assert isinstance(ListSink(), Sink)
         assert isinstance(CallbackSink(lambda d, t: None), Sink)
+
+
+class TestSanitizedEngine:
+    """The policy path: FeedSanitizer in front of every compressor."""
+
+    def test_clean_input_output_matches_trusted_path(self, fleet):
+        """Transparency: on clean input a sanitizing engine produces the
+        same trajectories as the trusted path (the bench pins the digest
+        version of this fleet-wide)."""
+        ids, cols = fleet
+        trusted = StreamEngine(_factory)
+        trusted.push_columns(ids, cols.ts, cols.xs, cols.ys)
+        expected = {d: [t.key_points for t in v] for d, v in trusted.finish_all().items()}
+
+        policy = SanitizePolicy(max_speed_mps=50.0, gap_seconds=600.0)
+        sanitized = StreamEngine(_factory, policy=policy)
+        for batch in iter_fix_batches(ids, cols, 701):
+            sanitized.push_columns(*batch)
+        results = sanitized.finish_all()
+        assert {d: [t.key_points for t in v] for d, v in results.items()} == expected
+        report = sanitized.feed_report()
+        assert report.fixes_in == report.fixes_out == len(ids)
+        assert report.dropped == {} and report.splits == {}
+
+    def test_gap_split_produces_separate_trajectories(self):
+        policy = SanitizePolicy(gap_seconds=60.0)
+        engine = StreamEngine(_factory, policy=policy)
+        engine.push_batch(
+            [("a", 0.0, 0.0, 0.0), ("a", 1.0, 1.0, 0.0)]
+            + [("a", 5000.0, 50.0, 0.0), ("a", 5001.0, 51.0, 0.0)]
+        )
+        results = engine.finish_all()
+        assert len(results["a"]) == 2
+        assert [len(t) for t in results["a"]] == [2, 2]
+        assert engine.sealed_trajectories == 2
+        report = engine.feed_report()
+        assert report.splits == {"gap": 1}
+        assert report.reconciles
+
+    def test_dirty_stream_drops_are_ledgered(self):
+        ids, cols = fleet_fixes(6, 60, seed=17)
+        out_ids, ts, xs, ys, summary = inject_disorder(
+            ids, cols.ts, cols.xs, cols.ys, swaps=4, dups=3, teleports=2, gaps=1
+        )
+        policy = SanitizePolicy(max_speed_mps=50.0, gap_seconds=60.0)
+        engine = StreamEngine(_factory, policy=policy)
+        engine.push_columns(out_ids, ts, xs, ys)
+        results = engine.finish_all()
+        report = engine.feed_report()
+        assert report.reconciles
+        assert report.dropped == {
+            "out_of_order": summary.swaps,
+            "duplicate": summary.dups,
+            "teleport": summary.teleports,
+        }
+        assert report.splits == {"gap": summary.gaps}
+        # Every sealed trajectory is non-empty and per-device reports
+        # roll up to the fleet report.
+        assert all(len(t) > 0 for v in results.values() for t in v)
+        per_device = engine.device_feed_reports()
+        assert sum(r.fixes_in for r in per_device.values()) == report.fixes_in
+        assert sum(r.dropped_total for r in per_device.values()) == report.dropped_total
+
+    def test_reorder_mode_preserves_output_across_eviction(self):
+        """A lateness window survives engine eviction: the sanitizer's
+        buffer is flushed into the stream before the device is sealed, so
+        no fix is silently lost."""
+        policy = SanitizePolicy(max_lateness=5.0)
+        engine = StreamEngine(_factory, policy=policy, max_devices=2)
+        engine.push_batch([("a", 0.0, 0.0, 0.0), ("a", 1.0, 1.0, 0.0)])
+        engine.push_batch([("b", 2.0, 0.0, 0.0), ("c", 3.0, 0.0, 0.0)])
+        engine.finish_all()
+        report = engine.feed_report()
+        assert report.reconciles
+        assert report.buffered == 0
+        assert report.fixes_out == 4  # every buffered fix reached a compressor
+
+    def test_empty_stream_after_drops_emits_nothing(self):
+        """A device whose every fix is dropped must not seal an empty
+        trajectory."""
+        policy = SanitizePolicy(max_speed_mps=10.0)
+        engine = StreamEngine(_factory, policy=policy)
+        # One good fix, then only duplicates of it.
+        engine.push_batch(
+            [("a", 0.0, 0.0, 0.0), ("b", 0.0, 0.0, 0.0), ("b", 0.0, 0.0, 0.0)]
+        )
+        results = engine.finish_all()
+        assert len(results["a"]) == 1 and len(results["b"]) == 1
+        # Now a device with zero surviving fixes: all non-finite.
+        engine2 = StreamEngine(_factory, policy=policy)
+        engine2.push_batch([("z", float("nan"), 0.0, 0.0)])
+        assert engine2.finish_all() == {}
+        assert engine2.sealed_trajectories == 0
+        assert engine2.feed_report().dropped == {"non_finite": 1}
+
+    def test_sharded_policy_transport(self):
+        """The policy ships to workers; sharded output and ledger match
+        the single-process sanitizing engine."""
+        ids, cols = fleet_fixes(8, 50, seed=23)
+        out_ids, ts, xs, ys, summary = inject_disorder(
+            ids, cols.ts, cols.xs, cols.ys, swaps=3, dups=3, teleports=2, gaps=1
+        )
+        policy = SanitizePolicy(max_speed_mps=50.0, gap_seconds=60.0)
+        factory = functools.partial(_fast_factory, 10.0)
+
+        single = StreamEngine(factory, policy=policy)
+        single.push_columns(out_ids, ts, xs, ys)
+        expected = {
+            d: [t.key_points for t in v] for d, v in single.finish_all().items()
+        }
+        expected_report = single.feed_report()
+
+        with ShardedStreamEngine(factory, workers=2, policy=policy) as sharded:
+            sharded.push_columns(out_ids, ts, xs, ys)
+            results = sharded.finish_all()
+            report = sharded.feed_report()
+        assert {
+            d: [t.key_points for t in v] for d, v in results.items()
+        } == expected
+        assert report.to_json() == expected_report.to_json()
+        assert report.reconciles

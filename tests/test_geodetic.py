@@ -198,6 +198,175 @@ class TestGeoStreamEngine:
         assert engine.projection_for("b") == UTMProjection(zone=23, south=True)
 
 
+class TestGeoSanitized:
+    """Boundary validation, policy filtering, and zone splitting."""
+
+    def test_invalid_coordinate_named_without_policy(self):
+        from repro.engine import BatchIngestError
+
+        engine = GeoStreamEngine(_factory)
+        engine.push_fix("a", 0.0, 41.0, 9.1)
+        with pytest.raises(BatchIngestError) as info:
+            engine.push_columns(
+                ("a", "a", "b"),
+                (1.0, 2.0, 0.0),
+                (41.0, 95.0, 41.0),
+                (9.1, 9.1, 9.0),
+            )
+        err = info.value
+        assert err.device_id == "a"
+        assert err.index == 1  # the offending fix within a's columns
+        assert "out_of_range" in str(err)
+        assert "95.0" in str(err)
+        # Validation screens the whole batch before ANY dispatch: neither
+        # a's valid prefix nor b was consumed, and b got no projection.
+        assert engine.total_fixes == 1
+        assert engine.projection_for("b") is None
+
+    def test_non_finite_coordinate_named_without_policy(self):
+        from repro.engine import BatchIngestError
+
+        engine = GeoStreamEngine(_factory)
+        with pytest.raises(BatchIngestError, match="non_finite"):
+            engine.push_columns(
+                ("a",), (0.0,), (41.0,), (float("nan"),)
+            )
+        assert engine.total_fixes == 0
+
+    def test_policy_filters_invalid_coordinates(self):
+        from repro.engine import SanitizePolicy
+
+        engine = GeoStreamEngine(_factory, policy=SanitizePolicy())
+        n = engine.push_columns(
+            ("a", "a", "a", "a"),
+            (0.0, 1.0, 2.0, 3.0),
+            (41.0, 95.0, 41.001, 41.002),
+            (9.1, 9.1, float("inf"), 9.103),
+        )
+        assert n == 2  # the two valid fixes
+        results = engine.finish_all()
+        assert len(results["a"]) == 1 and len(results["a"][0]) == 2
+        report = engine.feed_report()
+        assert report.reconciles
+        assert report.dropped == {"non_finite": 1, "out_of_range": 1}
+
+    def test_zone_split_seals_in_old_frame_and_reopens(self):
+        """A device crossing a UTM boundary with split_zones gets one
+        trajectory per zone, each stamped with the frame its coordinates
+        were projected in."""
+        from repro.engine import SanitizePolicy
+
+        policy = SanitizePolicy(split_zones=True, zone_margin_deg=0.05)
+        engine = GeoStreamEngine(_factory, policy=policy)
+        # Zone 32 is lon [6, 12); walk across into zone 33.
+        lons = [11.90, 11.95, 12.40, 12.45]
+        engine.push_columns(
+            ("a",) * 4,
+            (0.0, 1.0, 2.0, 3.0),
+            (41.0,) * 4,
+            lons,
+        )
+        results = engine.finish_all()
+        first, second = results["a"]
+        assert first.frame == UTMProjection(zone=32, south=False)
+        assert second.frame == UTMProjection(zone=33, south=False)
+        assert len(first) == 2 and len(second) == 2
+        report = engine.feed_report()
+        assert report.splits == {"zone": 1}
+        assert report.reconciles
+
+    def test_zone_margin_hysteresis_prevents_shatter(self):
+        """A track straddling the boundary within the margin must NOT
+        split into per-fix trajectories."""
+        from repro.engine import SanitizePolicy
+
+        policy = SanitizePolicy(split_zones=True, zone_margin_deg=0.2)
+        engine = GeoStreamEngine(_factory, policy=policy)
+        lons = [11.95, 12.05, 11.98, 12.1, 11.9]  # jitter around 12.0
+        engine.push_columns(
+            ("a",) * 5,
+            tuple(float(i) for i in range(5)),
+            (41.0,) * 5,
+            lons,
+        )
+        results = engine.finish_all()
+        assert len(results["a"]) == 1
+        assert engine.feed_report().splits == {}
+
+    def test_two_zone_splits_in_one_batch_stamp_correct_frames(self):
+        """Regression: a mid-batch split seals while the device is still
+        open — the frame stamp must come from the registry's get path,
+        not pop, or the SECOND split in the batch stamps frame=None."""
+        from repro.engine import SanitizePolicy
+
+        policy = SanitizePolicy(split_zones=True, zone_margin_deg=0.01)
+        engine = GeoStreamEngine(_factory, policy=policy)
+        # 32 -> 33 -> back to 32: two splits, three trajectories.
+        lons = [11.90, 11.95, 12.50, 12.55, 11.40, 11.35]
+        engine.push_columns(
+            ("a",) * 6,
+            tuple(float(i) for i in range(6)),
+            (41.0,) * 6,
+            lons,
+        )
+        results = engine.finish_all()
+        frames = [t.frame for t in results["a"]]
+        assert frames == [
+            UTMProjection(zone=32, south=False),
+            UTMProjection(zone=33, south=False),
+            UTMProjection(zone=32, south=False),
+        ]
+        assert engine.feed_report().splits == {"zone": 2}
+        # The registry is clean after finish_all.
+        assert engine.projection_for("a") is None
+
+    def test_zone_split_composes_with_gap_split(self):
+        from repro.engine import SanitizePolicy
+
+        policy = SanitizePolicy(
+            split_zones=True, zone_margin_deg=0.01, gap_seconds=60.0
+        )
+        engine = GeoStreamEngine(_factory, policy=policy)
+        engine.push_columns(
+            ("a",) * 4,
+            (0.0, 1.0, 5000.0, 5001.0),  # gap between 1.0 and 5000.0
+            (41.0,) * 4,
+            (11.90, 11.91, 12.50, 12.51),  # crossing happens at the gap
+        )
+        results = engine.finish_all()
+        assert len(results["a"]) == 2
+        report = engine.feed_report()
+        # One seal suffices: the zone cut and the gap land between the
+        # same two fixes, and both ledger entries record why.
+        assert report.splits["zone"] == 1
+        assert results["a"][0].frame == UTMProjection(zone=32, south=False)
+        assert results["a"][1].frame == UTMProjection(zone=33, south=False)
+
+    def test_sharded_geodetic_policy_matches_single(self):
+        from repro.engine import SanitizePolicy
+
+        ids, ts, lats, lons = _fleet(devices=6, fixes=50, multi_zone=True)
+        policy = SanitizePolicy(max_speed_mps=500.0, gap_seconds=3600.0)
+        single = GeoStreamEngine(_factory, policy=policy)
+        for batch in iter_geo_fix_batches(ids, ts, lats, lons, 97):
+            single.push_columns(*batch)
+        expected = single.finish_all()
+        expected_report = single.feed_report()
+        with ShardedStreamEngine(
+            _factory, workers=2, geodetic=True, policy=policy
+        ) as sharded:
+            for batch in iter_geo_fix_batches(ids, ts, lats, lons, 97):
+                sharded.push_columns(*batch)
+            got = sharded.finish_all()
+            report = sharded.feed_report()
+        assert set(got) == set(expected)
+        for device in expected:
+            assert [t.key_points for t in got[device]] == [
+                t.key_points for t in expected[device]
+            ]
+        assert report.to_json() == expected_report.to_json()
+
+
 class TestZoneStampedStore:
     def _ingest(self, tmp_path, **fleet_kw):
         ids, ts, lats, lons = _fleet(**fleet_kw)

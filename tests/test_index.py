@@ -234,6 +234,117 @@ class TestSidecarCorruption:
             assert store.index_report()["scanned_segments"] == 0
 
 
+class TestSidecarWriteFailure:
+    """A sidecar that cannot be WRITTEN (full or read-only disk) must cost
+    exactly what a corrupt one does: scan mode, correct answers, and a
+    clean heal once the disk recovers.  Failures are simulated by
+    monkeypatching because the suite may run as root, where chmod-based
+    read-only directories are not enforced."""
+
+    @staticmethod
+    def _enospc(*args, **kwargs):
+        raise OSError(28, "No space left on device")
+
+    def test_regeneration_failure_degrades_to_scan(self, tmp_path, monkeypatch):
+        import repro.storage.store as store_mod
+
+        path = tmp_path / "s"
+        segments = _build_plain(path)
+        expected = _scan_answers(path)
+        for name in segments:
+            sidecar_path(path, name).unlink()
+
+        monkeypatch.setattr(store_mod, "write_sidecar", self._enospc)
+        with TrajectoryStore(path) as store:
+            report = store.index_report()
+            assert report["scanned_segments"] == len(segments)
+            assert _answers(store) == expected  # scan mode, right answers
+        # Close attempted regeneration and failed silently; nothing may
+        # have been corrupted or half-written.
+        for name in segments:
+            assert not sidecar_path(path, name).exists()
+            assert not sidecar_path(path, name).with_suffix(
+                ".idx.tmp"
+            ).exists()
+
+        # Disk recovers: the next open rescans, heals every sidecar, and
+        # the one after is served from sidecars alone.
+        monkeypatch.undo()
+        with TrajectoryStore(path) as store:
+            assert _answers(store) == expected
+        with TrajectoryStore(path) as store:
+            report = store.index_report()
+            assert report["scanned_segments"] == 0
+            assert report["sidecar_rows"] == report["rows"]
+            assert _answers(store) == expected
+
+    def test_append_survives_sidecar_write_failure(self, tmp_path, monkeypatch):
+        """Rolling a segment while the disk is full must not lose data:
+        the log append sequence is unaffected, only the accelerator is."""
+        import repro.storage.store as store_mod
+
+        path = tmp_path / "s"
+        monkeypatch.setattr(store_mod, "write_sidecar", self._enospc)
+        with TrajectoryStore(path, segment_max_bytes=4096) as store:
+            for i in range(60):
+                store.append(
+                    f"dev-{i % 5}",
+                    _trajectory(_track(i * 30.0, i * 10.0, t0=float(i))),
+                )
+            assert store.record_count == 60
+        expected = _scan_answers(path)
+        assert len(expected["records"]) == 60
+
+        monkeypatch.undo()
+        with TrajectoryStore(path) as store:
+            assert _answers(store) == expected
+            store.reindex()
+        with TrajectoryStore(path) as store:
+            assert store.index_report()["scanned_segments"] == 0
+            assert _answers(store) == expected
+
+    def test_reindex_propagates_failure_without_corruption(
+        self, tmp_path, monkeypatch
+    ):
+        """reindex() is an explicit repair: its failure must surface, and
+        the store must keep answering correctly afterward."""
+        import repro.storage.store as store_mod
+
+        path = tmp_path / "s"
+        _build_plain(path)
+        expected = _scan_answers(path)
+        with TrajectoryStore(path) as store:
+            monkeypatch.setattr(store_mod, "write_sidecar", self._enospc)
+            with pytest.raises(OSError):
+                store.reindex()
+            assert _answers(store) == expected
+
+    def test_interrupted_write_leaves_no_tmp_file(self, tmp_path, monkeypatch):
+        """write_sidecar's crash-safety: a failure after the tmp file was
+        created removes it — a truncated .idx.tmp must never linger where
+        a later rename could promote it."""
+        import repro.storage.index as index_mod
+
+        target = tmp_path / "seg-00000001.idx"
+
+        def boom(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(index_mod.os, "replace", boom)
+        with pytest.raises(OSError):
+            index_mod.write_sidecar(
+                target,
+                "seg-00000001.log",
+                [],
+                [],
+                segment_size=0,
+                log_crc=0,
+                head_crc=0,
+            )
+        assert not target.exists()
+        assert not target.with_suffix(".idx.tmp").exists()
+
+
 class TestMmapScanParity:
     """The pinned guarantee: the mmap'd sidecar fast path returns answers
     bit-identical to the in-memory envelope scan — same refs, same

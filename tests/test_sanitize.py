@@ -1,0 +1,417 @@
+"""Feed sanitizer tests: stage pipeline, ledger reconciliation, injector.
+
+The sanitizer's contract is twofold: every fix handed to it is accounted
+for (``fixes_in == fixes_out + dropped + buffered`` at any instant), and
+the chunks it releases are always compressor-safe — non-decreasing
+timestamps, finite coordinates, duplicates and teleports removed per
+policy.  The disorder injector is tested against its own summary so the
+bench/CI ground-truth comparisons rest on an exact artifact count.
+"""
+
+import math
+
+import pytest
+
+from repro.engine import fleet_fixes, inject_disorder
+from repro.engine.sanitize import (
+    DROP_DUPLICATE,
+    DROP_NON_FINITE,
+    DROP_OUT_OF_ORDER,
+    DROP_OUT_OF_RANGE,
+    DROP_TELEPORT,
+    SPLIT_GAP,
+    SPLIT_TELEPORT,
+    FeedReport,
+    FeedSanitizer,
+    SanitizePolicy,
+    filter_geo_columns,
+    first_invalid_geo,
+    format_feed_report,
+)
+
+
+def _run(sanitizer, ts, xs, ys):
+    """All chunks from one batch plus the flush."""
+    return sanitizer.process(ts, xs, ys) + sanitizer.flush()
+
+
+def _fixes(chunks):
+    """Flatten chunks to a (t, x, y) list, ignoring seal markers."""
+    out = []
+    for _, ts, xs, ys in chunks:
+        out.extend(zip(ts, xs, ys))
+    return out
+
+
+class TestPolicy:
+    def test_defaults_are_valid_and_picklable_shape(self):
+        policy = SanitizePolicy()
+        assert policy.max_lateness == 0.0
+        assert policy.drop_duplicates is True
+        assert policy.max_speed_mps is None
+        doc = policy.to_json()
+        assert doc["reorder_capacity"] == 512
+        assert doc["split_zones"] is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_lateness": -1.0},
+            {"max_lateness": math.nan},
+            {"reorder_capacity": 0},
+            {"dup_dt": -0.5},
+            {"dup_epsilon_m": math.inf},
+            {"max_speed_mps": 0.0},
+            {"max_speed_mps": -3.0},
+            {"teleport_rejoin": 0},
+            {"gap_seconds": 0.0},
+            {"zone_margin_deg": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SanitizePolicy(**kwargs)
+
+
+class TestStages:
+    def test_clean_stream_passes_through_untouched(self):
+        sanitizer = FeedSanitizer(SanitizePolicy())
+        ts = [0.0, 1.0, 2.0, 3.0]
+        chunks = _run(sanitizer, ts, [0.0, 1.0, 2.0, 3.0], [0.0] * 4)
+        assert _fixes(chunks) == [(t, t, 0.0) for t in ts]
+        assert not chunks[0][0]  # no seal requested
+        report = sanitizer.counters.snapshot()
+        assert report.fixes_in == report.fixes_out == 4
+        assert report.dropped == {} and report.splits == {}
+
+    def test_out_of_order_dropped_without_buffer(self):
+        sanitizer = FeedSanitizer(SanitizePolicy())
+        chunks = _run(
+            sanitizer, [0.0, 2.0, 1.0, 3.0], [0.0, 2.0, 1.0, 3.0], [0.0] * 4
+        )
+        assert [t for t, _, _ in _fixes(chunks)] == [0.0, 2.0, 3.0]
+        assert sanitizer.counters.dropped == {DROP_OUT_OF_ORDER: 1}
+
+    def test_reorder_buffer_repairs_bounded_lateness(self):
+        sanitizer = FeedSanitizer(SanitizePolicy(max_lateness=2.0))
+        # 1.0 arrives after 2.0: within the lateness bound -> repaired.
+        chunks = _run(
+            sanitizer, [0.0, 2.0, 1.0, 5.0], [0.0, 2.0, 1.0, 5.0], [0.0] * 4
+        )
+        assert [t for t, _, _ in _fixes(chunks)] == [0.0, 1.0, 2.0, 5.0]
+        report = sanitizer.counters.snapshot()
+        assert report.reordered == 1
+        assert report.dropped == {}
+        assert report.buffered == 0  # flush drained everything
+
+    def test_reorder_buffer_holds_recent_fixes_until_flush(self):
+        sanitizer = FeedSanitizer(SanitizePolicy(max_lateness=10.0))
+        released = sanitizer.process([0.0, 1.0, 2.0], [0.0] * 3, [0.0] * 3)
+        assert released == []  # nothing older than watermark - 10 s yet
+        assert sanitizer.pending == 3
+        assert sanitizer.counters.buffered == 3
+        drained = sanitizer.flush()
+        assert [t for t, _, _ in _fixes(drained)] == [0.0, 1.0, 2.0]
+        assert sanitizer.pending == 0
+
+    def test_reorder_capacity_force_releases_oldest(self):
+        sanitizer = FeedSanitizer(
+            SanitizePolicy(max_lateness=1e9, reorder_capacity=2)
+        )
+        sanitizer.process([0.0, 1.0, 2.0, 3.0], [0.0] * 4, [0.0] * 4)
+        assert sanitizer.pending == 2  # overflow released the two oldest
+        report = sanitizer.counters.snapshot()
+        assert report.fixes_out == 2
+        assert report.buffered == 2
+        assert report.reconciles
+
+    def test_lateness_beyond_buffer_still_dropped(self):
+        sanitizer = FeedSanitizer(SanitizePolicy(max_lateness=1.0))
+        # By the time t=0.5 arrives, t=5.0 has already been RELEASED to
+        # the compressor (watermark 6.0 put it past the lateness window):
+        # unrecoverable, dropped with a reason.
+        chunks = _run(
+            sanitizer, [0.0, 5.0, 6.0, 0.5], [0.0, 5.0, 6.0, 0.5], [0.0] * 4
+        )
+        assert [t for t, _, _ in _fixes(chunks)] == [0.0, 5.0, 6.0]
+        assert sanitizer.counters.dropped == {DROP_OUT_OF_ORDER: 1}
+
+    def test_exact_duplicate_first_arrival_wins(self):
+        sanitizer = FeedSanitizer(SanitizePolicy())
+        chunks = _run(
+            sanitizer, [0.0, 1.0, 1.0], [0.0, 1.0, 99.0], [0.0] * 3
+        )
+        fixes = _fixes(chunks)
+        assert fixes == [(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)]  # 99.0 lost
+        assert sanitizer.counters.dropped == {DROP_DUPLICATE: 1}
+
+    def test_near_duplicate_window(self):
+        policy = SanitizePolicy(dup_dt=0.5, dup_epsilon_m=1.0)
+        sanitizer = FeedSanitizer(policy)
+        chunks = _run(
+            sanitizer,
+            [0.0, 0.3, 0.4, 1.5],
+            [0.0, 0.5, 5.0, 5.5],
+            [0.0, 0.0, 0.0, 0.0],
+        )
+        # 0.3 is within 0.5 s and 1 m of 0.0 -> dropped; 0.4 moved 5 m ->
+        # kept; 1.5 is outside the window -> kept.
+        assert [t for t, _, _ in _fixes(chunks)] == [0.0, 0.4, 1.5]
+        assert sanitizer.counters.dropped == {DROP_DUPLICATE: 1}
+
+    def test_duplicates_can_be_disabled(self):
+        sanitizer = FeedSanitizer(SanitizePolicy(drop_duplicates=False))
+        chunks = _run(sanitizer, [0.0, 0.0], [0.0, 1.0], [0.0, 0.0])
+        assert len(_fixes(chunks)) == 2
+
+    def test_non_finite_dropped_before_any_stage(self):
+        sanitizer = FeedSanitizer(SanitizePolicy(max_lateness=5.0))
+        chunks = _run(
+            sanitizer,
+            [0.0, math.nan, 1.0, 2.0],
+            [0.0, 0.0, math.inf, 2.0],
+            [0.0, 0.0, 0.0, 2.0],
+        )
+        assert [t for t, _, _ in _fixes(chunks)] == [0.0, 2.0]
+        assert sanitizer.counters.dropped == {DROP_NON_FINITE: 2}
+
+    def test_gap_split_seals_and_suspends_speed_gate(self):
+        policy = SanitizePolicy(gap_seconds=60.0, max_speed_mps=10.0)
+        sanitizer = FeedSanitizer(policy)
+        # 1 m/s track, then an hour of silence and a reappearance 50 km
+        # away: the gap seals the stream and the gate must NOT eat the
+        # first fix of the new sub-stream.
+        chunks = _run(
+            sanitizer,
+            [0.0, 1.0, 3601.0, 3602.0],
+            [0.0, 1.0, 50_000.0, 50_001.0],
+            [0.0] * 4,
+        )
+        assert len(chunks) == 2
+        assert chunks[0][0] is False and list(chunks[0][1]) == [0.0, 1.0]
+        assert chunks[1][0] is True  # seal_before
+        assert list(chunks[1][1]) == [3601.0, 3602.0]
+        report = sanitizer.counters.snapshot()
+        assert report.splits == {SPLIT_GAP: 1}
+        assert report.dropped == {}
+
+    def test_teleport_gate_drops_spikes(self):
+        policy = SanitizePolicy(max_speed_mps=10.0)
+        sanitizer = FeedSanitizer(policy)
+        chunks = _run(
+            sanitizer,
+            [0.0, 1.0, 2.0, 3.0],
+            [0.0, 1.0, 9_999.0, 3.0],  # one multipath spike
+            [0.0] * 4,
+        )
+        assert [x for _, x, _ in _fixes(chunks)] == [0.0, 1.0, 3.0]
+        assert sanitizer.counters.dropped == {DROP_TELEPORT: 1}
+
+    def test_teleport_rejoin_concedes_relocation_with_split(self):
+        policy = SanitizePolicy(max_speed_mps=10.0, teleport_rejoin=3)
+        sanitizer = FeedSanitizer(policy)
+        # The device genuinely relocated: every fix after t=1 is far away
+        # and self-consistent.  After 2 gated fixes the 3rd is accepted
+        # with a teleport split.
+        chunks = _run(
+            sanitizer,
+            [0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            [0.0, 1.0, 70_000.0, 70_001.0, 70_002.0, 70_003.0],
+            [0.0] * 6,
+        )
+        assert len(chunks) == 2
+        assert chunks[1][0] is True
+        assert list(chunks[1][1]) == [4.0, 5.0]
+        report = sanitizer.counters.snapshot()
+        assert report.dropped == {DROP_TELEPORT: 2}
+        assert report.splits == {SPLIT_TELEPORT: 1}
+        assert report.reconciles
+
+    def test_split_at_batch_tail_carries_into_next_batch(self):
+        policy = SanitizePolicy(gap_seconds=10.0)
+        sanitizer = FeedSanitizer(policy)
+        first = sanitizer.process([0.0, 1.0], [0.0, 1.0], [0.0, 0.0])
+        assert len(first) == 1 and first[0][0] is False
+        # The gap is detected on the first fix of the NEXT batch; its
+        # chunk must still demand the seal.
+        second = sanitizer.process([100.0], [100.0], [0.0])
+        assert len(second) == 1
+        assert second[0][0] is True
+        assert sanitizer.counters.splits == {SPLIT_GAP: 1}
+
+    def test_ledger_reconciles_on_a_thoroughly_messy_stream(self):
+        policy = SanitizePolicy(
+            max_lateness=2.0,
+            dup_dt=0.1,
+            dup_epsilon_m=0.5,
+            max_speed_mps=30.0,
+            gap_seconds=120.0,
+        )
+        sanitizer = FeedSanitizer(policy)
+        ts = [0.0, 1.0, 1.0, 0.5, math.nan, 3.0, 2.0, 500.0, 501.0, 400.0]
+        xs = [0.0, 1.0, 7.0, 0.5, 0.0, 3.0, 2.0, 500.0, 9e5, 400.0]
+        ys = [0.0] * len(ts)
+        sanitizer.process(ts, xs, ys)
+        mid = sanitizer.counters.snapshot()
+        assert mid.reconciles  # holds even with fixes still buffered
+        sanitizer.flush()
+        report = sanitizer.counters.snapshot()
+        assert report.reconciles
+        assert report.buffered == 0
+        assert report.fixes_in == len(ts)
+
+
+class TestReport:
+    def test_merged_sums_elementwise(self):
+        a = FeedReport(
+            fixes_in=5, fixes_out=3, dropped={"duplicate": 2}, splits={"gap": 1}
+        )
+        b = FeedReport(
+            fixes_in=4,
+            fixes_out=2,
+            reordered=1,
+            dropped={"duplicate": 1, "teleport": 1},
+        )
+        m = a.merged(b)
+        assert m.fixes_in == 9 and m.fixes_out == 5 and m.reordered == 1
+        assert m.dropped == {"duplicate": 3, "teleport": 1}
+        assert m.splits == {"gap": 1}
+        assert m.reconciles
+
+    def test_format_flags_a_broken_ledger(self):
+        good = FeedReport(fixes_in=2, fixes_out=2)
+        bad = FeedReport(fixes_in=2, fixes_out=1)
+        assert "LEDGER" not in format_feed_report(good)
+        assert "LEDGER DOES NOT RECONCILE" in format_feed_report(bad)
+
+    def test_to_json_sorts_reason_keys(self):
+        report = FeedReport(dropped={"teleport": 1, "duplicate": 2})
+        assert list(report.to_json()["dropped"]) == ["duplicate", "teleport"]
+
+
+class TestGeoValidation:
+    def test_first_invalid_geo_names_index_and_reason(self):
+        assert first_invalid_geo([0.0, 1.0], [0.0, 1.0]) is None
+        index, reason, value = first_invalid_geo([0.0, 91.0], [0.0, 0.0])
+        assert (index, reason, value) == (1, DROP_OUT_OF_RANGE, 91.0)
+        index, reason, _ = first_invalid_geo([0.0], [math.nan])
+        assert (index, reason) == (0, DROP_NON_FINITE)
+        index, reason, value = first_invalid_geo([0.0, 0.0], [0.0, -181.0])
+        assert (index, reason, value) == (1, DROP_OUT_OF_RANGE, -181.0)
+
+    def test_filter_geo_columns_passes_valid_batch_by_reference(self):
+        from repro.engine.sanitize import FeedCounters
+
+        ts, lats, lons = [0.0, 1.0], [10.0, 10.1], [20.0, 20.1]
+        counters = FeedCounters()
+        out = filter_geo_columns(ts, lats, lons, counters)
+        assert out == (ts, lats, lons)
+        assert out[0] is ts  # zero-copy on the clean path
+        assert counters.fixes_in == 0  # survivors counted downstream
+
+    def test_filter_geo_columns_drops_and_counts(self):
+        from repro.engine.sanitize import FeedCounters
+
+        counters = FeedCounters()
+        ts, lats, lons = filter_geo_columns(
+            [0.0, 1.0, 2.0, 3.0],
+            [10.0, 95.0, 10.2, 10.3],
+            [20.0, 20.1, math.inf, 20.3],
+            counters,
+        )
+        assert list(ts) == [0.0, 3.0]
+        assert list(lats) == [10.0, 10.3]
+        assert counters.dropped == {DROP_OUT_OF_RANGE: 1, DROP_NON_FINITE: 1}
+        assert counters.fixes_in == 2  # only the dropped fixes
+
+
+class TestInjector:
+    def test_summary_matches_requested_artifacts(self):
+        ids, cols = fleet_fixes(6, 60, seed=11)
+        out_ids, ts, xs, ys, summary = inject_disorder(
+            ids, cols.ts, cols.xs, cols.ys, swaps=4, dups=3, teleports=2, gaps=1
+        )
+        assert (summary.swaps, summary.dups, summary.teleports, summary.gaps) == (
+            4, 3, 2, 1,
+        )
+        assert summary.artifacts == 10
+        assert len(out_ids) == len(ids) + summary.dups
+        assert len(ts) == len(xs) == len(ys) == len(out_ids)
+
+    def test_deterministic_per_seed(self):
+        ids, cols = fleet_fixes(5, 50, seed=3)
+        a = inject_disorder(ids, cols.ts, cols.xs, cols.ys, seed=9, swaps=3)
+        b = inject_disorder(ids, cols.ts, cols.xs, cols.ys, seed=9, swaps=3)
+        c = inject_disorder(ids, cols.ts, cols.xs, cols.ys, seed=10, swaps=3)
+        assert a[:4] == b[:4]
+        assert a[:4] != c[:4]
+
+    def test_sanitizer_recovers_exact_ground_truth(self):
+        """End-to-end: inject a known amount of disorder into a clean
+        fleet, run every device through a drop-mode sanitizer, and demand
+        the ledger equals the injection summary exactly."""
+        ids, cols = fleet_fixes(8, 80, seed=21)
+        out_ids, ts, xs, ys, summary = inject_disorder(
+            ids, cols.ts, cols.xs, cols.ys,
+            swaps=6, dups=5, teleports=4, gaps=2,
+        )
+        policy = SanitizePolicy(max_speed_mps=50.0, gap_seconds=60.0)
+        per_device = {}
+        for i, device_id in enumerate(out_ids):
+            per_device.setdefault(device_id, ([], [], []))
+            dts, dxs, dys = per_device[device_id]
+            dts.append(ts[i])
+            dxs.append(xs[i])
+            dys.append(ys[i])
+        from repro.engine.sanitize import FeedCounters
+
+        total = FeedCounters()
+        for device_id, (dts, dxs, dys) in per_device.items():
+            sanitizer = FeedSanitizer(policy, total)
+            sanitizer.process(dts, dxs, dys)
+            sanitizer.flush()
+        report = total.snapshot()
+        assert report.reconciles
+        assert report.dropped == {
+            DROP_OUT_OF_ORDER: summary.swaps,
+            DROP_DUPLICATE: summary.dups,
+            DROP_TELEPORT: summary.teleports,
+        }
+        assert report.splits == {SPLIT_GAP: summary.gaps}
+
+    def test_reorder_mode_repairs_swaps_bit_exactly(self):
+        """With a lateness window the swapped fixes are re-sorted, so the
+        sanitized output equals the clean input stream exactly."""
+        ids, cols = fleet_fixes(4, 40, seed=13)
+        out_ids, ts, xs, ys, summary = inject_disorder(
+            ids, cols.ts, cols.xs, cols.ys, swaps=5
+        )
+        policy = SanitizePolicy(max_lateness=5.0)
+        clean = {}
+        for i, device_id in enumerate(ids):
+            clean.setdefault(device_id, []).append(
+                (cols.ts[i], cols.xs[i], cols.ys[i])
+            )
+        dirty = {}
+        for i, device_id in enumerate(out_ids):
+            dirty.setdefault(device_id, ([], [], []))
+            dts, dxs, dys = dirty[device_id]
+            dts.append(ts[i])
+            dxs.append(xs[i])
+            dys.append(ys[i])
+        repaired_swaps = 0
+        for device_id, (dts, dxs, dys) in dirty.items():
+            sanitizer = FeedSanitizer(policy)
+            chunks = sanitizer.process(dts, dxs, dys) + sanitizer.flush()
+            assert _fixes(chunks) == clean[device_id], device_id
+            report = sanitizer.counters.snapshot()
+            assert report.dropped == {}
+            repaired_swaps += report.reordered
+        assert repaired_swaps == summary.swaps
+
+    def test_injection_validation(self):
+        ids, cols = fleet_fixes(2, 10, seed=1)
+        with pytest.raises(ValueError):
+            inject_disorder(
+                ids, cols.ts, cols.xs, cols.ys, swaps=500
+            )  # nowhere to place them
