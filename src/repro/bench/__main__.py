@@ -35,6 +35,7 @@ import sys
 from typing import Sequence
 
 from .compare import diff_benches, format_diff, load_bench_file
+from .durability import run_durability_bench
 from .fleet import run_dirty_fleet_bench, run_fleet_bench
 from .geodetic import run_geodetic_bench
 from .harness import default_factories, run_bench
@@ -52,6 +53,10 @@ _SMOKE_STORAGE_FIXES = 60
 #: small size so CI still pins the match digest and the parity check.
 _SCALE_SIZES = (10_000, 100_000, 1_000_000)
 _SMOKE_SCALE_SIZES = (5_000,)
+#: Engine batch size for the durability stage.  The smoke fleet is only
+#: 2 000 fixes, so the stage needs smaller batches than the fleet default
+#: to have a stream it can crash mid-way through.
+_SMOKE_DURABILITY_BATCH = 256
 
 
 def _parse_baseline(pairs: Sequence[str]) -> dict:
@@ -121,6 +126,23 @@ def _format_dirty_fleet(r) -> str:
         f"feed: {feed['fixes_in']} in -> {feed['fixes_out']} compressed, "
         f"dropped ({dropped}), splits ({splits})",
         f"digests: dirty {r.key_digest}, clean {r.clean_digest}",
+    ]
+    return "\n".join(lines)
+
+
+def _format_durability(r) -> str:
+    lines = [
+        f"durability ({r.devices}x{r.fixes_per_device}, "
+        f"{r.batches} batches of {r.batch_size})",
+        "-" * 72,
+        f"ingest: plain {r.plain_fixes_per_sec:,.0f} fixes/s, "
+        f"journal {r.journal_fixes_per_sec:,.0f} fixes/s "
+        f"({r.overhead_pct:+.1f}% wall, journal peak {r.journal_bytes} B)",
+        f"recovery: {r.recovery_batches} batches / {r.recovery_fixes} fixes "
+        f"replayed in {r.recovery_seconds * 1e3:.1f} ms "
+        f"({r.recovery_fixes_per_sec:,.0f} fixes/s)",
+        f"digests: reference {r.store_digest[:16]}, "
+        f"recovered {r.recovered_digest[:16]}",
     ]
     return "\n".join(lines)
 
@@ -262,6 +284,12 @@ def main_run(argv: Sequence[str]) -> int:
         action="store_true",
         help="skip the dirty-fleet benchmark (sanitizer over injected "
         "disorder, audited against ground truth)",
+    )
+    parser.add_argument(
+        "--no-durability",
+        action="store_true",
+        help="skip the durability benchmark (write-ahead journal overhead "
+        "and crash-recovery wall, digest-audited)",
     )
     parser.add_argument(
         "--no-storage",
@@ -412,6 +440,19 @@ def main_run(argv: Sequence[str]) -> int:
             progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
         )
 
+    durability_record = None
+    if not (args.no_fleet or args.no_durability):
+        durability_record = run_durability_bench(
+            _SMOKE_FLEET_DEVICES if args.smoke else args.fleet_devices,
+            _SMOKE_FLEET_FIXES if args.smoke else args.fleet_fixes,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            batch_size=(
+                _SMOKE_DURABILITY_BATCH if args.smoke else args.fleet_batch
+            ),
+            progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+        )
+
     storage_record = None
     if not args.no_storage:
         storage_record = run_storage_bench(
@@ -453,7 +494,7 @@ def main_run(argv: Sequence[str]) -> int:
 
     out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
     document = {
-        "schema": 6,
+        "schema": 7,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -470,6 +511,11 @@ def main_run(argv: Sequence[str]) -> int:
         "dirty_fleet": (
             dirty_fleet_record.to_json()
             if dirty_fleet_record is not None
+            else None
+        ),
+        "durability": (
+            durability_record.to_json()
+            if durability_record is not None
             else None
         ),
         "storage": (
@@ -496,6 +542,9 @@ def main_run(argv: Sequence[str]) -> int:
     if dirty_fleet_record is not None:
         print()
         print(_format_dirty_fleet(dirty_fleet_record))
+    if durability_record is not None:
+        print()
+        print(_format_durability(durability_record))
     if storage_record is not None:
         print()
         print(_format_storage(storage_record))

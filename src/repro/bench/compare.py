@@ -173,6 +173,50 @@ def diff_benches(
             }
         )
 
+    # Durability section (schema 7+): one record, joined on the workload
+    # shape.  Both digests are behaviour: the store digest pins the exact
+    # bytes the reference (journal-off) ingest persisted, the recovered
+    # digest pins what the crash-recovery replay rebuilt — the in-run
+    # audit already forces the two equal *within* a run, so a drift
+    # against the baseline means the engine's persisted output (or the
+    # replay that reproduces it) moved.  Journal overhead and recovery
+    # wall are timing-only.
+    old_dur = old.get("durability")
+    new_dur = new.get("durability")
+    if old_dur and new_dur:
+        old_fps = float(old_dur["journal_fixes_per_sec"])
+        new_fps = float(new_dur["journal_fixes_per_sec"])
+        ratio = new_fps / old_fps if old_fps > 0.0 else float("inf")
+        timing_reasons = []
+        behaviour_reasons = []
+        if ratio < threshold:
+            timing_reasons.append(
+                f"journaled ingest fell to {ratio:.2f}x"
+            )
+        if (
+            old_dur["devices"] == new_dur["devices"]
+            and old_dur["fixes_per_device"] == new_dur["fixes_per_device"]
+        ):
+            if old_dur["store_digest"] != new_dur["store_digest"]:
+                behaviour_reasons.append(
+                    "persisted store moved (digest differs)"
+                )
+            if old_dur["recovered_digest"] != new_dur["recovered_digest"]:
+                behaviour_reasons.append(
+                    "recovered store moved (digest differs)"
+                )
+        add_row(
+            {
+                "workload": "durability",
+                "algorithm": "journal+recover",
+                "old_points_per_sec": old_fps,
+                "new_points_per_sec": new_fps,
+                "ratio": ratio,
+                "reasons": timing_reasons + behaviour_reasons,
+                "behaviour": bool(behaviour_reasons),
+            }
+        )
+
     # Storage section (schema 3+): one record; the blob digest pins the
     # codec's exact bytes, the query digest pins both query answers.
     old_storage = old.get("storage")

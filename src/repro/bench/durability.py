@@ -1,0 +1,279 @@
+"""Durability benchmark: journal overhead and crash-recovery wall time.
+
+Three measured legs over one seeded fleet stream, all writing through
+``StreamEngine -> StoreSink`` into a temporary :class:`~repro.storage.
+store.TrajectoryStore`:
+
+``plain``
+    Journal off — the baseline ingest wall the durability tax is
+    measured against.
+
+``journal``
+    The same stream with a write-ahead :class:`~repro.engine.journal.
+    FixJournal` (flush-to-kernel, no fsync — the process-crash-safe
+    default).  The headline number is the overhead percentage against
+    ``plain``; the target on record is <= 10 %.
+
+``recovery``
+    A simulated mid-stream crash: ingest the first ``crash_fraction`` of
+    the batches under a journal, abandon the engine, then time
+    :meth:`StreamEngine.recover` replaying the journal into a reopened
+    store.  The resumed run (remaining batches + ``finish_all``) must
+    end with a store whose :meth:`~repro.storage.store.TrajectoryStore.
+    content_digest` is bit-identical to the uninterrupted reference —
+    the crash-recovery invariant, enforced here exactly like a key-point
+    digest in the compressor suite (:class:`BenchError` on violation).
+
+Digest audits before anything is recorded:
+
+1. journal-on and journal-off stores are bit-identical (journaling must
+   never change output);
+2. the recovered + resumed store equals the reference store.
+
+Both digests land in the record so ``compare`` treats them as
+behaviour, never timing noise.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, List
+
+from ..engine.core import StreamEngine
+from ..engine.simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+from ..storage.store import StoreSink, TrajectoryStore
+from .harness import BenchError
+
+__all__ = ["DurabilityRecord", "run_durability_bench"]
+
+
+@dataclass(frozen=True)
+class DurabilityRecord:
+    """Journal overhead + recovery measurements for one seeded fleet."""
+
+    devices: int
+    fixes_per_device: int
+    fixes: int  #: total fixes in the interleaved stream
+    batches: int  #: engine batches the stream splits into
+    batch_size: int
+    epsilon: float
+    seed: int
+    crash_batch: int  #: batches ingested before the simulated crash
+    plain_fixes_per_sec: float  #: journal off
+    plain_wall_seconds: float
+    journal_fixes_per_sec: float  #: journal on (flushed, no fsync)
+    journal_wall_seconds: float
+    overhead_pct: float  #: journal wall vs plain wall (target <= 10)
+    journal_bytes: int  #: journal size at its pre-rotation peak
+    recovery_seconds: float  #: wall to replay the journal after the crash
+    recovery_batches: int  #: batches the replay reproduced
+    recovery_fixes: int
+    recovery_fixes_per_sec: float
+    store_digest: str  #: reference store content digest (behaviour pin)
+    recovered_digest: str  #: post-recovery resumed store digest (must match)
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def _journal_ingest(
+    base: str,
+    factory,
+    batches: List[tuple],
+    journal: bool,
+) -> tuple[float, str, int]:
+    """One full ingest into a fresh store; returns (wall, digest, jbytes).
+
+    ``jbytes`` is the journal's size right before ``finish_all`` rotates
+    it away — the peak disk cost a deployment pays for the journal.
+    """
+    store = TrajectoryStore(os.path.join(base, "store"))
+    engine = StreamEngine(
+        factory,
+        collect=False,
+        sink=StoreSink(store),
+        journal=os.path.join(base, "wal") if journal else None,
+    )
+    try:
+        t0 = time.perf_counter()
+        for batch in batches:
+            engine.push_columns(*batch)
+        peak = engine.journal.total_bytes() if journal else 0
+        engine.finish_all()
+        wall = time.perf_counter() - t0
+        digest = store.content_digest()
+    finally:
+        if engine.journal is not None:
+            engine.journal.close()
+        store.close()
+    return wall, digest, peak
+
+
+def run_durability_bench(
+    devices: int,
+    fixes_per_device: int,
+    epsilon: float = 10.0,
+    seed: int = 7,
+    batch_size: int = 4096,
+    crash_fraction: float = 0.5,
+    repeats: int = 2,
+    progress: Callable[[str], None] | None = None,
+) -> DurabilityRecord:
+    """Measure the write-ahead journal's cost and its recovery guarantee.
+
+    Every timed leg runs ``repeats`` times in a fresh directory and
+    records its fastest wall (best-of-N against scheduler noise); the
+    digest audits cover every repeat.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
+    if not 0.0 < crash_fraction < 1.0:
+        raise ValueError(
+            f"crash_fraction must be in (0, 1), got {crash_fraction!r}"
+        )
+    ids, cols = fleet_fixes(devices, fixes_per_device, seed=seed)
+    total = len(ids)
+    batches = list(iter_fix_batches(ids, cols, batch_size))
+    crash_batch = max(1, int(len(batches) * crash_fraction))
+    if crash_batch >= len(batches):
+        raise BenchError(
+            "durability: stream too short to crash mid-way "
+            f"({len(batches)} batch(es))"
+        )
+    factory = functools.partial(bqs_fleet_factory, epsilon)
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    def best_ingest(journal: bool) -> tuple[float, str, int]:
+        best_wall = math.inf
+        digest = None
+        peak = 0
+        for _ in range(repeats):
+            base = tempfile.mkdtemp(prefix="bench-durability-")
+            try:
+                wall, run_digest, run_peak = _journal_ingest(
+                    base, factory, batches, journal
+                )
+            finally:
+                shutil.rmtree(base, ignore_errors=True)
+            best_wall = min(best_wall, wall)
+            peak = max(peak, run_peak)
+            if digest is None:
+                digest = run_digest
+            elif run_digest != digest:
+                raise BenchError(
+                    "durability: repeats disagree (non-deterministic store?)"
+                )
+        return best_wall, digest, peak
+
+    note(f"durability/plain ({devices} devices x {fixes_per_device} fixes)")
+    plain_wall, plain_digest, _ = best_ingest(journal=False)
+
+    note("durability/journal (write-ahead, flushed)")
+    journal_wall, journal_digest, journal_bytes = best_ingest(journal=True)
+
+    # Audit 1: journaling is observationally free — same store, bit for bit.
+    if journal_digest != plain_digest:
+        raise BenchError(
+            "durability: journal-on store diverged from journal-off "
+            f"(digest {journal_digest} vs {plain_digest})"
+        )
+
+    # Recovery leg: crash after crash_batch batches, replay, resume, audit.
+    note(f"durability/recovery (crash after batch {crash_batch})")
+    best_recovery = math.inf
+    recovery_report = None
+    recovered_digest = None
+    for _ in range(repeats):
+        base = tempfile.mkdtemp(prefix="bench-durability-")
+        try:
+            store_dir = os.path.join(base, "store")
+            wal_dir = os.path.join(base, "wal")
+            store = TrajectoryStore(store_dir)
+            engine = StreamEngine(
+                factory,
+                collect=False,
+                sink=StoreSink(store),
+                journal=wal_dir,
+            )
+            for batch in batches[:crash_batch]:
+                engine.push_columns(*batch)
+            # Simulated crash: the engine's in-memory state is abandoned;
+            # only the store's segments and the journal survive.
+            engine.journal.close()
+            store.close()
+
+            store = TrajectoryStore(store_dir)
+            t0 = time.perf_counter()
+            engine = StreamEngine.recover(
+                wal_dir,
+                factory,
+                collect=False,
+                sink=StoreSink(store),
+                dedupe_store=store,
+            )
+            recovery_wall = time.perf_counter() - t0
+            report = engine.recovery
+            if report.last_seq != crash_batch:
+                raise BenchError(
+                    f"durability: recovery saw {report.last_seq} journaled "
+                    f"batches, expected {crash_batch}"
+                )
+            for batch in batches[crash_batch:]:
+                engine.push_columns(*batch)
+            engine.finish_all()
+            run_digest = store.content_digest()
+            engine.journal.close()
+            store.close()
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+
+        # Audit 2: the recovered + resumed store is the reference store.
+        if run_digest != plain_digest:
+            raise BenchError(
+                "durability: recovered store diverged from the reference "
+                f"(digest {run_digest} vs {plain_digest})"
+            )
+        recovered_digest = run_digest
+        if recovery_wall < best_recovery:
+            best_recovery = recovery_wall
+            recovery_report = report
+
+    crash_fixes = sum(len(batch[0]) for batch in batches[:crash_batch])
+    overhead_pct = (
+        (journal_wall / plain_wall - 1.0) * 100.0 if plain_wall > 0.0 else 0.0
+    )
+    return DurabilityRecord(
+        devices=devices,
+        fixes_per_device=fixes_per_device,
+        fixes=total,
+        batches=len(batches),
+        batch_size=batch_size,
+        epsilon=epsilon,
+        seed=seed,
+        crash_batch=crash_batch,
+        plain_fixes_per_sec=total / plain_wall if plain_wall > 0.0 else 0.0,
+        plain_wall_seconds=plain_wall,
+        journal_fixes_per_sec=(
+            total / journal_wall if journal_wall > 0.0 else 0.0
+        ),
+        journal_wall_seconds=journal_wall,
+        overhead_pct=overhead_pct,
+        journal_bytes=journal_bytes,
+        recovery_seconds=best_recovery,
+        recovery_batches=recovery_report.batches_replayed,
+        recovery_fixes=recovery_report.fixes_replayed,
+        recovery_fixes_per_sec=(
+            crash_fixes / best_recovery if best_recovery > 0.0 else 0.0
+        ),
+        store_digest=plain_digest,
+        recovered_digest=recovered_digest,
+    )

@@ -33,12 +33,21 @@ interface:
     and teleporting fixes, splits streams at long silences and (geodetic)
     UTM zone boundaries, and accounts every dropped fix in a
     :class:`FeedReport`.
+
+:mod:`repro.engine.journal`
+    The write-ahead fix journal behind every engine's ``journal=`` /
+    ``recover()`` crash-durability path: acknowledged batches are durable
+    before dispatch, sealed deliveries are checkpointed, and replay
+    through the same deterministic pipeline rebuilds the exact pre-crash
+    state (the sharded engine journals per shard and can restart dead
+    workers from their journals).
 """
 
 from .core import BatchIngestError, DeviceId, Fix, StreamEngine
 from .geodetic import GeoFix, GeoStreamEngine
+from .journal import FixJournal, JournalError, RecoveryReport
 from .sanitize import FeedReport, FeedSanitizer, SanitizePolicy
-from .sharded import ShardedStreamEngine, shard_of
+from .sharded import ShardCrashError, ShardedStreamEngine, shard_of
 from .simulate import (
     DisorderSummary,
     bqs_fleet_factory,
@@ -58,10 +67,14 @@ __all__ = [
     "FeedReport",
     "FeedSanitizer",
     "Fix",
+    "FixJournal",
     "GeoFix",
     "GeoStreamEngine",
+    "JournalError",
     "ListSink",
+    "RecoveryReport",
     "SanitizePolicy",
+    "ShardCrashError",
     "ShardedStreamEngine",
     "Sink",
     "StreamEngine",

@@ -365,16 +365,35 @@ def _ingest_csv_main(argv: Sequence[str]) -> int:
         metavar="DIR",
         help="persist sealed trajectories to this store directory",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead journal directory: every accepted batch is "
+        "durable before it is compressed, so a crashed run can be "
+        "replayed exactly (StreamEngine.recover / GeoStreamEngine."
+        "recover on this directory)",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync journal frames and store appends (survives power "
+        "loss, not just process death)",
+    )
     args = parser.parse_args(argv)
     if args.split_zones and not args.geodetic:
         parser.error("--split-zones requires --geodetic")
+    if args.fsync and args.journal is None and args.store is None:
+        parser.error("--fsync needs --journal and/or --store to act on")
     policy = None if args.no_sanitize else _policy_from_args(args)
 
     sink = None
+    store = None
     if args.store is not None:
-        from ..storage.store import StoreSink
+        from ..storage.store import StoreSink, TrajectoryStore
 
-        sink = StoreSink(args.store)
+        store = TrajectoryStore(args.store, fsync=args.fsync)
+        sink = StoreSink(store)
     factory = functools.partial(bqs_fleet_factory, args.epsilon)
     cls = GeoStreamEngine if args.geodetic else StreamEngine
     engine = cls(
@@ -382,6 +401,8 @@ def _ingest_csv_main(argv: Sequence[str]) -> int:
         policy=policy,
         sink=sink,
         collect=sink is None,
+        journal=args.journal,
+        journal_fsync=args.fsync,
     )
 
     coord_names = ("lat", "lon") if args.geodetic else ("x", "y")
@@ -454,6 +475,8 @@ def _ingest_csv_main(argv: Sequence[str]) -> int:
             handle.close()
         if sink is not None:
             sink.close()
+        if store is not None:
+            store.close()
 
     trajectories = (
         sum(len(v) for v in results.values())

@@ -40,11 +40,13 @@ is exactly the amnesic behaviour a bounded-memory collector needs.
 
 from __future__ import annotations
 
+import os
 from array import array
 from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from ..compression.base import StreamingCompressor
 from ..model.trajectory import CompressedTrajectory
+from .journal import EmitGate, FixJournal, RecoveryReport
 from .sanitize import FeedChunk, FeedCounters, FeedReport, FeedSanitizer, SanitizePolicy
 from .sinks import CallbackSink, ListSink, Sink
 
@@ -185,6 +187,15 @@ class StreamEngine:
             trajectories.  ``None`` (the default) trusts the input and
             keeps the raw fast path — output is bit-identical to the
             engine without this parameter.
+        journal: a :class:`~repro.engine.journal.FixJournal` (or a
+            directory path to open one in) makes ingestion crash-durable:
+            every accepted batch is journaled *before* it is dispatched,
+            every delivered seal is checkpointed after its sinks accept
+            it, and :meth:`recover` rebuilds the engine's exact pre-crash
+            state from the journal.  ``None`` (the default) keeps the
+            journal-free fast path, bit-identical to before.
+        journal_fsync: fsync every journal frame (power-loss durability;
+            only consulted when ``journal`` is a path).
     """
 
     def __init__(
@@ -197,6 +208,8 @@ class StreamEngine:
         collect: bool = True,
         sink: Sink | None = None,
         policy: SanitizePolicy | None = None,
+        journal: FixJournal | str | os.PathLike | None = None,
+        journal_fsync: bool = False,
     ) -> None:
         if max_devices is not None and max_devices < 1:
             raise ValueError(f"max_devices must be >= 1, got {max_devices!r}")
@@ -227,6 +240,21 @@ class StreamEngine:
         #: evictions and stream rebirths, so the fleet-level report keeps
         #: every fix a device ever sent accounted for.
         self._feed_counters: Dict[DeviceId, FeedCounters] = {}
+        if journal is not None and not isinstance(journal, FixJournal):
+            journal = FixJournal(journal, fsync=journal_fsync)
+        if journal is not None and journal.geodetic:
+            raise ValueError(
+                "a geodetic journal cannot drive a planar StreamEngine"
+            )
+        #: The write-ahead fix journal, or ``None`` (no durability).
+        self._journal = journal
+        #: Every seal path delivers through the gate: it checkpoints
+        #: seals in the journal and, during recovery replay, suppresses
+        #: the ones the crashed run already delivered.
+        self._gate = EmitGate(journal)
+        #: The :class:`~repro.engine.journal.RecoveryReport` when this
+        #: engine was built by :meth:`recover`; ``None`` otherwise.
+        self.recovery: RecoveryReport | None = None
         self._clock = -float("inf")
         self._total_fixes = 0
         self._sealed = 0
@@ -271,6 +299,11 @@ class StreamEngine:
     def policy(self) -> SanitizePolicy | None:
         """The sanitization policy, or ``None`` on the trusted fast path."""
         return self._policy
+
+    @property
+    def journal(self) -> FixJournal | None:
+        """The write-ahead fix journal, or ``None`` when not durable."""
+        return self._journal
 
     def feed_report(self) -> FeedReport:
         """The merged sanitation ledger across every device ever seen.
@@ -359,6 +392,10 @@ class StreamEngine:
         :class:`BatchIngestError` carrying the consumed counts;
         not-yet-dispatched devices in the batch are untouched.
         """
+        if self._journal is not None and not self._gate.replaying:
+            # Write-ahead: the batch is durable before any compressor
+            # sees it, so an acknowledged push can always be replayed.
+            self._journal.log_push(groups)
         if self._policy is not None:
             return self._dispatch_sanitized(groups)
         devices = self._devices
@@ -481,8 +518,7 @@ class StreamEngine:
         state.compressor = self._factory(device_id)
         if trajectory.original_count:
             self._sealed += 1
-            for sink in self._sinks:
-                sink.emit(device_id, trajectory)
+            self._gate.deliver(device_id, trajectory, self._sinks)
 
     def _open_device(self, device_id: DeviceId) -> _DeviceState:
         devices = self._devices
@@ -525,14 +561,17 @@ class StreamEngine:
             # already sealed by a split); the trusted path emits exactly
             # what it always has.
             self._sealed += 1
-            for sink in self._sinks:
-                sink.emit(device_id, trajectory)
+            self._gate.deliver(device_id, trajectory, self._sinks)
         return trajectory
 
     def finish_device(self, device_id: DeviceId) -> CompressedTrajectory:
         """Seal one device's stream now and return its trajectory."""
         if device_id not in self._devices:
             raise KeyError(f"no open stream for device {device_id!r}")
+        if self._journal is not None and not self._gate.replaying:
+            # Explicit finishes are API events the replayed pushes cannot
+            # reproduce (unlike evictions and splits) — journal them.
+            self._journal.log_finish(device_id)
         return self._seal(device_id, evicted=False)
 
     def finish_all(self) -> Dict[DeviceId, List[CompressedTrajectory]]:
@@ -544,7 +583,110 @@ class StreamEngine:
         batches reopen fresh streams for their devices (``finish_all`` is a
         checkpoint, not a shutdown — unlike the sharded engine, whose
         workers exit).
+
+        With a journal, ``finish_all`` is also its quiesce point: once
+        every stream is sealed and checkpointed the journal rotates to a
+        fresh (empty) segment, so it stays bounded by the work since the
+        last checkpoint.
         """
+        journal = None
+        if self._journal is not None and not self._gate.replaying:
+            journal = self._journal
+            journal.log_finish_all()
         for device_id in list(self._devices):
             self._seal(device_id, evicted=False)
+        if journal is not None:
+            journal.rotate()
         return self.results
+
+    # -- crash recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal_dir: FixJournal | str | os.PathLike,
+        compressor_factory: Callable[[DeviceId], StreamingCompressor],
+        *,
+        max_devices: int | None = None,
+        idle_timeout: float | None = None,
+        on_finish: Callable[[DeviceId, CompressedTrajectory], None] | None = None,
+        collect: bool = True,
+        sink: Sink | None = None,
+        policy: SanitizePolicy | None = None,
+        dedupe_store=None,
+        journal_fsync: bool = False,
+    ) -> "StreamEngine":
+        """Rebuild an engine's pre-crash state from its fix journal.
+
+        Replays every journaled batch (and explicit finish) through a
+        fresh engine built with the given configuration — which must
+        match the crashed engine's, since the replay's determinism is
+        what makes the rebuilt state exact.  Seals the crashed run
+        already delivered (per the journal's seal checkpoints) are
+        suppressed; seals that were lost with the crash are delivered to
+        the sinks now; torn journal tails are dropped the same way the
+        store drops torn segment tails.  Afterwards the engine is live:
+        it keeps journaling into the same directory, and
+        :attr:`recovery` carries the :class:`~repro.engine.journal.
+        RecoveryReport` (``recovery.last_seq`` tells a resuming feed
+        which batches are already ingested).
+
+        ``dedupe_store``: the :class:`~repro.storage.store.
+        TrajectoryStore` the crashed run's sink wrote to, if any.  Closes
+        the emit-before-checkpoint crash window: a trajectory that
+        reached the store but whose seal checkpoint was lost is detected
+        there and not delivered twice.
+        """
+        journal = journal_dir
+        if not isinstance(journal, FixJournal):
+            journal = FixJournal(
+                journal, fsync=journal_fsync, keep_records=True
+            )
+        engine = cls(
+            compressor_factory,
+            max_devices=max_devices,
+            idle_timeout=idle_timeout,
+            on_finish=on_finish,
+            collect=collect,
+            sink=sink,
+            policy=policy,
+            journal=journal,
+        )
+        engine.recovery = engine._replay(dedupe_store)
+        return engine
+
+    def _replay(self, dedupe_store) -> RecoveryReport:
+        journal = self._journal
+        gate = self._gate
+        gate.begin_replay(journal.seal_counts(), dedupe_store)
+        batches = fixes = 0
+        try:
+            for record in journal.iter_records():
+                kind = record[0]
+                if kind == "push":
+                    batches += 1
+                    try:
+                        fixes += self._dispatch_groups(record[2])
+                    except BatchIngestError:
+                        # The original run raised the same error at the
+                        # same point with the same valid prefix consumed;
+                        # the replayed state already matches it.
+                        pass
+                elif kind == "finish":
+                    if self.is_open(record[1]):
+                        self.finish_device(record[1])
+                else:  # finish_all
+                    self.finish_all()
+        finally:
+            suppressed, deduped, reemitted = gate.end_replay()
+        journal.drop_records()
+        return RecoveryReport(
+            last_seq=journal.last_seq,
+            batches_replayed=batches,
+            fixes_replayed=fixes,
+            seals_suppressed=suppressed,
+            seals_deduped=deduped,
+            seals_reemitted=reemitted,
+            damaged_bytes=journal.damaged_bytes,
+            segments=len(journal.segments),
+        )

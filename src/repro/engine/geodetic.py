@@ -50,6 +50,7 @@ fixes are dropped and charged to the device's feed ledger.
 
 from __future__ import annotations
 
+import os
 from array import array
 from dataclasses import replace
 from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
@@ -64,6 +65,7 @@ from .core import (
     group_fix_columns,
     group_fix_stream,
 )
+from .journal import EmitGate, FixJournal, RecoveryReport
 from .sanitize import (
     SPLIT_ZONE,
     FeedReport,
@@ -137,15 +139,20 @@ class _FrameStampSink:
     the frame must survive for the sub-trajectories that follow.
     """
 
-    __slots__ = ("_projections", "_sinks", "is_open")
+    __slots__ = ("_projections", "_sinks", "_gate", "is_open")
 
     def __init__(
         self,
         projections: Dict[DeviceId, UTMProjection],
         sinks: Sequence[Sink],
+        gate: EmitGate,
     ) -> None:
         self._projections = projections
         self._sinks = tuple(sinks)
+        #: The geodetic front-end's emit gate: seals are checkpointed in
+        #: (and, during recovery, suppressed against) the *geodetic*
+        #: journal, after stamping — the inner engine has no journal.
+        self._gate = gate
         #: The inner engine's ``is_open`` — assigned right after that
         #: engine is constructed (it takes this sink as an argument).
         self.is_open: Callable[[DeviceId], bool] | None = None
@@ -158,8 +165,7 @@ class _FrameStampSink:
         else:
             projection = self._projections.pop(device_id, None)
         stamped = _stamped(trajectory, projection)
-        for sink in self._sinks:
-            sink.emit(device_id, stamped)
+        self._gate.deliver(device_id, stamped, self._sinks)
 
     def close(self) -> None:
         pass
@@ -201,6 +207,8 @@ class GeoStreamEngine:
         collect: bool = True,
         sink: Sink | None = None,
         policy: SanitizePolicy | None = None,
+        journal: FixJournal | str | os.PathLike | None = None,
+        journal_fsync: bool = False,
     ) -> None:
         #: Open streams' UTM projections (device id -> zone frame chosen
         #: from the device's first fix); entries live exactly as long as
@@ -208,6 +216,18 @@ class GeoStreamEngine:
         self._projections: Dict[DeviceId, UTMProjection] = {}
         #: Stamped sealed trajectories per device, when ``collect`` is on.
         self.results: Dict[DeviceId, List[CompressedTrajectory]] = {}
+        if journal is not None and not isinstance(journal, FixJournal):
+            journal = FixJournal(journal, fsync=journal_fsync, geodetic=True)
+        if journal is not None and not journal.geodetic:
+            raise ValueError(
+                "a planar journal cannot drive a GeoStreamEngine"
+            )
+        #: The geodetic write-ahead journal: raw lat/lon batches are
+        #: journaled *before* validation or projection, so replay passes
+        #: through the identical zone-selection and sanitation pipeline.
+        self._journal = journal
+        self._gate = EmitGate(journal)
+        self.recovery: RecoveryReport | None = None
         sinks: List[Sink] = []
         if collect:
             sinks.append(ListSink(self.results))
@@ -215,7 +235,7 @@ class GeoStreamEngine:
             sinks.append(CallbackSink(on_finish))
         if sink is not None:
             sinks.append(sink)
-        stamp_sink = _FrameStampSink(self._projections, sinks)
+        stamp_sink = _FrameStampSink(self._projections, sinks, self._gate)
         self._engine = StreamEngine(
             compressor_factory,
             max_devices=max_devices,
@@ -260,6 +280,11 @@ class GeoStreamEngine:
     def policy(self) -> SanitizePolicy | None:
         """The sanitization policy, or ``None`` on the trusted fast path."""
         return self._policy
+
+    @property
+    def journal(self) -> FixJournal | None:
+        """The geodetic write-ahead journal, or ``None`` when not durable."""
+        return self._journal
 
     def feed_report(self) -> FeedReport:
         """The merged sanitation ledger (boundary drops included)."""
@@ -313,6 +338,11 @@ class GeoStreamEngine:
         exits — the first slice dispatches batched with everyone else's,
         each continuation seals the old frame and reopens in the new.
         """
+        if self._journal is not None and not self._gate.replaying:
+            # Write-ahead at the geodetic boundary: raw degrees, before
+            # validation or projection, so replay reproduces the whole
+            # pipeline (zone selection included) bit for bit.
+            self._journal.log_push(groups)
         projections = self._projections
         policy = self._policy
         engine = self._engine
@@ -419,6 +449,12 @@ class GeoStreamEngine:
 
     def finish_device(self, device_id: DeviceId) -> CompressedTrajectory:
         """Seal one device's stream now; returns the stamped trajectory."""
+        if (
+            self._journal is not None
+            and not self._gate.replaying
+            and self._engine.is_open(device_id)
+        ):
+            self._journal.log_finish(device_id)
         projection = self._projections.get(device_id)
         try:
             return _stamped(self._engine.finish_device(device_id), projection)
@@ -429,7 +465,98 @@ class GeoStreamEngine:
             self._projections.pop(device_id, None)
 
     def finish_all(self) -> Dict[DeviceId, List[CompressedTrajectory]]:
-        """Seal every open stream; returns the stamped collected results."""
+        """Seal every open stream; returns the stamped collected results.
+
+        With a journal this is its quiesce point (see
+        :meth:`StreamEngine.finish_all`): the journal rotates once every
+        stream is sealed and checkpointed.
+        """
+        journal = None
+        if self._journal is not None and not self._gate.replaying:
+            journal = self._journal
+            journal.log_finish_all()
         self._engine.finish_all()
         self._projections.clear()
+        if journal is not None:
+            journal.rotate()
         return self.results
+
+    # -- crash recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal_dir: FixJournal | str | os.PathLike,
+        compressor_factory: Callable[[DeviceId], StreamingCompressor],
+        *,
+        max_devices: int | None = None,
+        idle_timeout: float | None = None,
+        on_finish: Callable[[DeviceId, CompressedTrajectory], None] | None = None,
+        collect: bool = True,
+        sink: Sink | None = None,
+        policy: SanitizePolicy | None = None,
+        dedupe_store=None,
+        journal_fsync: bool = False,
+    ) -> "GeoStreamEngine":
+        """Rebuild a geodetic engine's pre-crash state from its journal.
+
+        The geodetic twin of :meth:`StreamEngine.recover`: the journal
+        holds raw lat/lon batches, and replaying them through the same
+        validation → zone-selection → projection → sanitation pipeline
+        (with the same configuration) reproduces the crashed engine's
+        state — projections registry included — exactly.  Already
+        delivered seals are suppressed via the journal's checkpoints and,
+        through ``dedupe_store``, the emit-before-checkpoint window.
+        """
+        journal = journal_dir
+        if not isinstance(journal, FixJournal):
+            journal = FixJournal(
+                journal, fsync=journal_fsync, geodetic=True, keep_records=True
+            )
+        engine = cls(
+            compressor_factory,
+            max_devices=max_devices,
+            idle_timeout=idle_timeout,
+            on_finish=on_finish,
+            collect=collect,
+            sink=sink,
+            policy=policy,
+            journal=journal,
+        )
+        engine.recovery = engine._replay(dedupe_store)
+        return engine
+
+    def _replay(self, dedupe_store) -> RecoveryReport:
+        journal = self._journal
+        gate = self._gate
+        gate.begin_replay(journal.seal_counts(), dedupe_store)
+        batches = fixes = 0
+        try:
+            for record in journal.iter_records():
+                kind = record[0]
+                if kind == "push":
+                    batches += 1
+                    try:
+                        fixes += self._project_and_dispatch(record[2])
+                    except BatchIngestError:
+                        # Same error, same point, same consumed prefix as
+                        # the crashed run — the state already matches.
+                        pass
+                elif kind == "finish":
+                    if self._engine.is_open(record[1]):
+                        self.finish_device(record[1])
+                else:  # finish_all
+                    self.finish_all()
+        finally:
+            suppressed, deduped, reemitted = gate.end_replay()
+        journal.drop_records()
+        return RecoveryReport(
+            last_seq=journal.last_seq,
+            batches_replayed=batches,
+            fixes_replayed=fixes,
+            seals_suppressed=suppressed,
+            seals_deduped=deduped,
+            seals_reemitted=reemitted,
+            damaged_bytes=journal.damaged_bytes,
+            segments=len(journal.segments),
+        )

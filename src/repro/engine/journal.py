@@ -1,0 +1,627 @@
+"""The write-ahead fix journal: crash-durable acknowledged ingestion.
+
+Every unsealed compressor stream is state that dies with the process —
+potentially thousands of devices × hundreds of buffered fixes that were
+already acknowledged to the uplink.  :class:`FixJournal` closes that hole
+the way the segment store closes it for sealed output: an append-only log
+of CRC-framed, length-prefixed records, written *before* the engine
+dispatches a batch, so any accepted fix is on disk before the push call
+returns.
+
+Recovery replays the journal through a **fresh engine with the same
+configuration** (same factory, policy, eviction caps).  Because the whole
+pipeline — sanitizer, splits, evictions, compressors — is deterministic
+over the pushed batches, the replayed engine reaches exactly the
+pre-crash state and re-seals exactly the trajectories the crashed run
+sealed, in the same order.  Seal-checkpoint records make the replay's
+*output* start after the last sealed trajectory: each seal the original
+run delivered to its sinks is recorded, and the replay suppresses that
+many re-emissions per device, so nothing sealed before the crash is
+delivered twice.
+
+On-disk format (one directory, ``wal-%08d.log`` segments):
+
+=============  ==========================================================
+header         ``BQSWAL1\\n`` magic, version byte, flags byte (bit 0:
+               geodetic — the coordinate columns are degrees)
+frame          u32 payload length, u32 crc32(payload), payload — the
+               store's segment framing, with the same torn-tail recovery:
+               scan stops at the first bad frame, counts the damage, and
+               appends roll to a fresh segment
+``push``       record type 1: uvarint batch seq, uvarint group count,
+               then per device group: tagged device id, uvarint fix
+               count, and the raw ``ts``/``xs``/``ys`` columns as
+               little-endian f64 — floats are stored bit-exact (the
+               codec's quantizing varints would break bit-identical
+               replay), the varint idioms carry every count and length
+``seal``       record type 2: tagged device id, uvarint cumulative
+               non-empty seals delivered for that device — written
+               *after* the sink accepted the trajectory
+``checkpoint`` record type 3: uvarint seq — first frame of a rotated
+               segment, carrying the batch sequence across rotation
+``finish``     record type 4: tagged device id — an explicit
+               ``finish_device`` call (evictions and splits need no
+               record: the replayed pushes reproduce them)
+``finish_all`` record type 5: an explicit ``finish_all`` call
+=============  ==========================================================
+
+Device ids round-trip by type (str / int / bytes — the ids the engines
+and the store actually see); anything else raises :class:`JournalError`
+at push time rather than surfacing as a replay mismatch after a crash.
+
+The one unavoidable crash window is between a sink accepting a sealed
+trajectory and its ``seal`` record landing: replay would deliver that
+trajectory a second time.  :class:`EmitGate` closes it for store-backed
+sinks by checking the device's most recent stored record before the
+first unsuppressed re-emission (byte-level blob comparison at the stored
+quanta) — exactly-once into a :class:`~repro.storage.store.
+TrajectoryStore`, at-least-once into sinks that cannot be asked.
+
+``finish_all`` rotates the journal: with every stream sealed and every
+seal checkpointed there is nothing left to replay, so a fresh segment
+(holding only a ``checkpoint`` frame) replaces the old ones and the
+journal stays bounded by the work since the last quiesce.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import sys
+import zlib
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Hashable, Iterator, List, Sequence, Tuple
+
+from .. import fsio
+from ..storage.codec import (
+    CodecError,
+    _append_svarint,
+    _append_uvarint,
+    _read_svarint,
+    _read_uvarint,
+)
+
+__all__ = ["EmitGate", "FixJournal", "JournalError", "RecoveryReport"]
+
+_MAGIC = b"BQSWAL1\n"
+_VERSION = 1
+_HEADER = struct.Struct("<8sBB")  # magic, version, flags
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_SEGMENT_FMT = "wal-{:08d}.log"
+_SEGMENT_GLOB = "wal-*.log"
+
+FLAG_GEODETIC = 0x01
+
+_REC_PUSH = 1
+_REC_SEAL = 2
+_REC_CHECKPOINT = 3
+_REC_FINISH = 4
+_REC_FINISH_ALL = 5
+
+_ID_STR = 0
+_ID_INT = 1
+_ID_BYTES = 2
+
+
+class JournalError(ValueError):
+    """The journal cannot guarantee a faithful replay (bad magic, damage
+    before the final segment, a device id that cannot round-trip, a
+    geodetic journal opened by a planar engine, ...)."""
+
+
+def _append_device_id(buf: bytearray, device_id: Hashable) -> None:
+    if isinstance(device_id, str):
+        raw = device_id.encode("utf-8", "surrogatepass")
+        buf.append(_ID_STR)
+        _append_uvarint(buf, len(raw))
+        buf += raw
+    elif isinstance(device_id, bool):
+        # bool is an int subclass but would come back as int and miss the
+        # device's open stream on replay.
+        raise JournalError(
+            f"device id {device_id!r} (bool) cannot be journaled"
+        )
+    elif isinstance(device_id, int):
+        buf.append(_ID_INT)
+        _append_svarint(buf, device_id)
+    elif isinstance(device_id, bytes):
+        buf.append(_ID_BYTES)
+        _append_uvarint(buf, len(device_id))
+        buf += device_id
+    else:
+        raise JournalError(
+            f"device id {device_id!r} of type {type(device_id).__name__} "
+            "cannot be journaled (str, int and bytes ids round-trip)"
+        )
+
+
+def _read_device_id(data, pos: int) -> Tuple[Hashable, int]:
+    if pos >= len(data):
+        raise CodecError("truncated device id")
+    tag = data[pos]
+    pos += 1
+    if tag == _ID_STR:
+        n, pos = _read_uvarint(data, pos)
+        if pos + n > len(data):
+            raise CodecError("truncated device id")
+        return bytes(data[pos : pos + n]).decode("utf-8", "surrogatepass"), pos + n
+    if tag == _ID_INT:
+        return _read_svarint(data, pos)
+    if tag == _ID_BYTES:
+        n, pos = _read_uvarint(data, pos)
+        if pos + n > len(data):
+            raise CodecError("truncated device id")
+        return bytes(data[pos : pos + n]), pos + n
+    raise CodecError(f"unknown device id tag {tag}")
+
+
+def _pack_doubles(values: Sequence[float]) -> bytes:
+    col = values if isinstance(values, array) and values.typecode == "d" else array(
+        "d", values
+    )
+    if sys.byteorder == "big":
+        col = array("d", col)
+        col.byteswap()
+    return col.tobytes()
+
+
+def _read_doubles(data, pos: int, n: int) -> Tuple[array, int]:
+    end = pos + 8 * n
+    if end > len(data):
+        raise CodecError("truncated float column")
+    col = array("d")
+    col.frombytes(bytes(data[pos:end]))
+    if sys.byteorder == "big":
+        col.byteswap()
+    return col, end
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`StreamEngine.recover` replayed and re-delivered."""
+
+    last_seq: int  #: highest journaled batch sequence — resume input after it
+    batches_replayed: int = 0
+    fixes_replayed: int = 0
+    seals_suppressed: int = 0  #: already delivered and checkpointed pre-crash
+    seals_deduped: int = 0  #: delivered pre-crash, caught by the store check
+    seals_reemitted: int = 0  #: lost with the crash, delivered again now
+    damaged_bytes: int = 0  #: torn-tail bytes dropped by the journal scan
+    segments: int = 0
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+
+class FixJournal:
+    """Append-only write-ahead journal of accepted fixes for one engine.
+
+    Args:
+        directory: journal directory (created if missing); one engine per
+            journal — it is single-writer, like the store.
+        fsync: fsync every frame.  Off (the default) the journal survives
+            process death (frames are flushed to the kernel before the
+            push is acknowledged); on, it also survives power loss, at
+            the cost of a disk round-trip per batch.
+        geodetic: the pushed coordinate columns are degrees (stamped into
+            the segment headers; a journal replays only into the kind of
+            engine that wrote it).
+        keep_records: retain parsed records from the open scan for
+            :meth:`iter_records` — recovery needs them, a fresh ingest
+            run does not.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        fsync: bool = False,
+        geodetic: bool = False,
+        keep_records: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._geodetic = geodetic
+        self._flags = FLAG_GEODETIC if geodetic else 0
+        self._handle = None
+        self._active: str | None = None
+        self._last_seq = 0
+        self._seal_counts: Dict[Hashable, int] = {}
+        self._records: List[tuple] | None = [] if keep_records else None
+        self.damaged_bytes = 0
+        self._segments: List[str] = sorted(
+            p.name for p in self.directory.glob(_SEGMENT_GLOB)
+        )
+        self._closed = False
+        if self._segments:
+            self._scan()
+        if self._handle is None:
+            if self._segments:
+                # Clean reopen: keep appending to the scanned tail.
+                self._active = self._segments[-1]
+                self._handle = fsio.open_file(
+                    self.directory / self._active, "ab"
+                )
+            else:
+                self._new_segment(checkpoint=False)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent journaled push batch."""
+        return self._last_seq
+
+    @property
+    def geodetic(self) -> bool:
+        return self._geodetic
+
+    @property
+    def fsync(self) -> bool:
+        return self._fsync
+
+    @property
+    def segments(self) -> List[str]:
+        return list(self._segments)
+
+    def seal_counts(self) -> Dict[Hashable, int]:
+        """Non-empty seals checkpointed per device (cumulative)."""
+        return dict(self._seal_counts)
+
+    def total_bytes(self) -> int:
+        return sum(
+            (self.directory / name).stat().st_size
+            for name in self._segments
+            if (self.directory / name).exists()
+        )
+
+    # -- opening -------------------------------------------------------------
+
+    def _scan(self) -> None:
+        last = len(self._segments) - 1
+        for si, name in enumerate(self._segments):
+            data = (self.directory / name).read_bytes()
+            if len(data) < _HEADER.size:
+                raise JournalError(f"{name}: truncated header")
+            magic, version, flags = _HEADER.unpack_from(data, 0)
+            if magic != _MAGIC:
+                raise JournalError(f"{name}: bad magic {magic!r}")
+            if version != _VERSION:
+                raise JournalError(f"{name}: unsupported version {version}")
+            if bool(flags & FLAG_GEODETIC) != self._geodetic:
+                kind = "geodetic" if flags & FLAG_GEODETIC else "planar"
+                raise JournalError(
+                    f"{name}: journal is {kind}; this engine is "
+                    f"{'geodetic' if self._geodetic else 'planar'}"
+                )
+            pos = _HEADER.size
+            size = len(data)
+            while pos < size:
+                if pos + _FRAME.size > size:
+                    break  # torn frame header
+                length, crc = _FRAME.unpack_from(data, pos)
+                end = pos + _FRAME.size + length
+                if end > size:
+                    break  # torn payload
+                payload = data[pos + _FRAME.size : end]
+                if zlib.crc32(payload) != crc:
+                    break
+                try:
+                    self._apply_record(payload)
+                except (CodecError, JournalError):
+                    break  # damaged record — same policy as a bad CRC
+                pos = end
+            if pos < size:
+                damage = size - pos
+                if si != last:
+                    # A hole before the final segment means replay would
+                    # silently skip acknowledged fixes — refuse.
+                    raise JournalError(
+                        f"{name}: {damage} damaged bytes before the final "
+                        "segment; the journal cannot replay faithfully"
+                    )
+                # Truncate the tear: once this recovery rolls a fresh
+                # segment the damaged one is no longer final, and a second
+                # crash before the next quiesce must still reopen clean.
+                with open(self.directory / name, "r+b") as repair:
+                    repair.truncate(pos)
+                self.damaged_bytes += damage
+        if self.damaged_bytes:
+            # Bytes appended after a tear would be unreachable to the
+            # scan; seal the damaged segment and roll — the store does
+            # the same for its logs.
+            self._new_segment(checkpoint=True)
+
+    def _apply_record(self, payload) -> None:
+        if not payload:
+            raise CodecError("empty record")
+        rtype = payload[0]
+        if rtype == _REC_PUSH:
+            seq, pos = _read_uvarint(payload, 1)
+            n_groups, pos = _read_uvarint(payload, pos)
+            groups: Dict[Hashable, tuple] = {}
+            for _ in range(n_groups):
+                device_id, pos = _read_device_id(payload, pos)
+                n, pos = _read_uvarint(payload, pos)
+                ts, pos = _read_doubles(payload, pos, n)
+                xs, pos = _read_doubles(payload, pos, n)
+                ys, pos = _read_doubles(payload, pos, n)
+                groups[device_id] = (ts, xs, ys)
+            if seq <= self._last_seq:
+                raise CodecError(
+                    f"push seq {seq} not after {self._last_seq}"
+                )
+            self._last_seq = seq
+            if self._records is not None:
+                self._records.append(("push", seq, groups))
+        elif rtype == _REC_SEAL:
+            device_id, pos = _read_device_id(payload, 1)
+            count, pos = _read_uvarint(payload, pos)
+            if count > self._seal_counts.get(device_id, 0):
+                self._seal_counts[device_id] = count
+        elif rtype == _REC_CHECKPOINT:
+            seq, _ = _read_uvarint(payload, 1)
+            if seq > self._last_seq:
+                self._last_seq = seq
+        elif rtype == _REC_FINISH:
+            device_id, _ = _read_device_id(payload, 1)
+            if self._records is not None:
+                self._records.append(("finish", device_id))
+        elif rtype == _REC_FINISH_ALL:
+            if self._records is not None:
+                self._records.append(("finish_all",))
+        else:
+            raise CodecError(f"unknown journal record type {rtype}")
+
+    def iter_records(self) -> Iterator[tuple]:
+        """Parsed replayable records, in journal order: ``("push", seq,
+        groups)``, ``("finish", device_id)``, ``("finish_all",)``.
+        Requires ``keep_records=True`` at open."""
+        if self._records is None:
+            raise JournalError("journal opened without keep_records")
+        return iter(self._records)
+
+    def drop_records(self) -> None:
+        """Release the retained replay records after recovery."""
+        self._records = None
+
+    # -- writing -------------------------------------------------------------
+
+    def _new_segment(self, *, checkpoint: bool) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        next_index = 1
+        if self._segments:
+            next_index = (
+                int(self._segments[-1][len("wal-") : -len(".log")]) + 1
+            )
+        name = _SEGMENT_FMT.format(next_index)
+        # "wb": segment numbers never repeat within a journal's life, but
+        # truncating is the safe idiom for any orphan under this name.
+        handle = fsio.open_file(self.directory / name, "wb")
+        try:
+            handle.write(_HEADER.pack(_MAGIC, _VERSION, self._flags))
+            handle.flush()
+            if self._fsync:
+                fsio.fsync(handle.fileno())
+        except BaseException:
+            handle.close()
+            raise
+        self._segments.append(name)
+        self._active = name
+        self._handle = handle
+        if checkpoint:
+            payload = bytearray((_REC_CHECKPOINT,))
+            _append_uvarint(payload, self._last_seq)
+            self._write_frame(bytes(payload))
+
+    def _write_frame(self, payload: bytes) -> None:
+        if self._closed:
+            raise JournalError("journal is closed")
+        handle = self._handle
+        handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        handle.write(payload)
+        # Flush to the kernel before the caller acknowledges the batch:
+        # process death cannot lose it, only power loss can (see fsync).
+        handle.flush()
+        if self._fsync:
+            fsio.fsync(handle.fileno())
+
+    def log_push(
+        self,
+        groups: Dict[
+            Hashable, Tuple[Sequence[float], Sequence[float], Sequence[float]]
+        ],
+    ) -> int:
+        """Journal one accepted push batch (all device groups, one frame —
+        a torn tail drops whole batches, never half of one); returns the
+        batch's sequence number."""
+        seq = self._last_seq + 1
+        payload = bytearray((_REC_PUSH,))
+        _append_uvarint(payload, seq)
+        _append_uvarint(payload, len(groups))
+        for device_id, (ts, xs, ys) in groups.items():
+            _append_device_id(payload, device_id)
+            _append_uvarint(payload, len(ts))
+            payload += _pack_doubles(ts)
+            payload += _pack_doubles(xs)
+            payload += _pack_doubles(ys)
+        self._write_frame(bytes(payload))
+        self._last_seq = seq
+        return seq
+
+    def log_seal(self, device_id: Hashable) -> None:
+        """Checkpoint one delivered non-empty seal (call *after* the sinks
+        accepted the trajectory)."""
+        count = self._seal_counts.get(device_id, 0) + 1
+        self._seal_counts[device_id] = count
+        payload = bytearray((_REC_SEAL,))
+        _append_device_id(payload, device_id)
+        _append_uvarint(payload, count)
+        self._write_frame(bytes(payload))
+
+    def log_finish(self, device_id: Hashable) -> None:
+        """Journal an explicit ``finish_device`` (write-ahead, so replay
+        re-seals at the same point)."""
+        payload = bytearray((_REC_FINISH,))
+        _append_device_id(payload, device_id)
+        self._write_frame(bytes(payload))
+
+    def log_finish_all(self) -> None:
+        """Journal an explicit ``finish_all``."""
+        self._write_frame(bytes((_REC_FINISH_ALL,)))
+
+    def rotate(self) -> None:
+        """Start a fresh segment and drop the old ones.
+
+        Only meaningful at a quiesce point (every stream sealed, every
+        seal checkpointed — ``finish_all`` calls this): the old segments
+        replay to a state with nothing undelivered, so they are dead
+        weight.  Crash-ordered: the new segment (with its ``checkpoint``
+        frame carrying the batch sequence) exists before any old one is
+        unlinked, and a replay spanning both is correct either way.
+        """
+        old = list(self._segments)
+        self._new_segment(checkpoint=True)
+        self._seal_counts.clear()
+        if self._records is not None:
+            self._records = []
+        for name in old:
+            try:
+                os.unlink(self.directory / name)
+            except OSError:
+                pass  # an orphan is replay-correct, just not free
+            if name in self._segments:
+                self._segments.remove(name)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+
+def _sealed_duplicate(store, device_id, trajectory) -> bool:
+    """Whether the device's most recent stored record is byte-identical
+    (at its stored quanta) to this about-to-be-re-emitted trajectory —
+    the emit-before-checkpoint crash window, caught via the store."""
+    from ..storage.codec import encode_trajectory
+
+    key = device_id if isinstance(device_id, str) else str(device_id)
+    try:
+        refs = store.device_manifest(key)
+        if not refs:
+            return False
+        decoded = store.read(refs[-1])
+        candidate = encode_trajectory(
+            trajectory,
+            xy_quantum=decoded.xy_quantum,
+            t_quantum=decoded.t_quantum,
+        )
+        stored = encode_trajectory(
+            decoded.to_trajectory(),
+            xy_quantum=decoded.xy_quantum,
+            t_quantum=decoded.t_quantum,
+        )
+    except Exception:
+        return False  # unsure means not a duplicate: never drop data on a guess
+    return candidate == stored
+
+
+class EmitGate:
+    """The single funnel between an engine's seal paths and its sinks.
+
+    Normal operation: deliver to every sink, then checkpoint the seal in
+    the journal (non-empty trajectories only — empty seals never reach a
+    store and are not counted on either side).  During recovery replay it
+    additionally suppresses the seals the journal says were already
+    delivered, and closes the emit-before-checkpoint window against a
+    store (see :func:`_sealed_duplicate`).
+    """
+
+    __slots__ = (
+        "journal",
+        "suppress",
+        "checked",
+        "dedupe_store",
+        "replaying",
+        "suppressed",
+        "deduped",
+        "reemitted",
+    )
+
+    def __init__(self, journal: FixJournal | None = None) -> None:
+        self.journal = journal
+        self.suppress: Dict[Hashable, int] | None = None
+        self.checked: set | None = None
+        self.dedupe_store = None
+        self.replaying = False
+        self.suppressed = 0
+        self.deduped = 0
+        self.reemitted = 0
+
+    def begin_replay(self, seal_counts: Dict[Hashable, int], dedupe_store) -> None:
+        self.suppress = {d: c for d, c in seal_counts.items() if c > 0}
+        self.checked = set()
+        self.dedupe_store = dedupe_store
+        self.replaying = True
+        self.suppressed = self.deduped = self.reemitted = 0
+
+    def end_replay(self) -> Tuple[int, int, int]:
+        stats = (self.suppressed, self.deduped, self.reemitted)
+        self.suppress = None
+        self.checked = None
+        self.dedupe_store = None
+        self.replaying = False
+        return stats
+
+    def deliver(self, device_id, trajectory, sinks) -> bool:
+        """Deliver one sealed trajectory; returns whether every sink saw it
+        now (False: durable sinks already had it before the crash).
+
+        Suppression is a *durable-sink* concept: a sink marked
+        ``durable = True`` (the store) kept its pre-crash deliveries, so a
+        suppressed seal must not reach it twice — but volatile sinks (the
+        in-memory collect ledger, callbacks) lost theirs with the process,
+        so the replay re-delivers to them unconditionally.  That is what
+        makes a recovered ``finish_all()`` result digest-identical to the
+        uninterrupted run *and* the store exactly-once at the same time.
+        """
+        countable = bool(trajectory.original_count)
+        if self.replaying and countable:
+            left = self.suppress.get(device_id, 0)
+            if left > 0:
+                self.suppress[device_id] = left - 1
+                self.suppressed += 1
+                self._emit_volatile(device_id, trajectory, sinks)
+                return False
+            if device_id not in self.checked:
+                self.checked.add(device_id)
+                if self.dedupe_store is not None and _sealed_duplicate(
+                    self.dedupe_store, device_id, trajectory
+                ):
+                    # Delivered pre-crash, checkpoint lost with the crash:
+                    # record it now instead of delivering twice.
+                    self.deduped += 1
+                    self._emit_volatile(device_id, trajectory, sinks)
+                    if self.journal is not None:
+                        self.journal.log_seal(device_id)
+                    return False
+        for sink in sinks:
+            sink.emit(device_id, trajectory)
+        if countable:
+            if self.replaying:
+                self.reemitted += 1
+            if self.journal is not None:
+                self.journal.log_seal(device_id)
+        return True
+
+    @staticmethod
+    def _emit_volatile(device_id, trajectory, sinks) -> None:
+        for sink in sinks:
+            if not getattr(sink, "durable", False):
+                sink.emit(device_id, trajectory)

@@ -18,11 +18,30 @@ benchmark records both regimes honestly.
 ``compressor_factory`` must be picklable (a module-level function or a
 ``functools.partial`` over one), since it is shipped to the workers once at
 start-up.
+
+Crash supervision
+-----------------
+
+A worker process can die mid-stream (OOM kill, a segfault in a native
+extension, an operator's ``kill -9``).  The engine always *detects* that
+— a broken pipe or an EOF on the reply channel surfaces as a typed
+:class:`ShardCrashError` naming the shard, its exit code, and the device
+ids routed to it — and can optionally *survive* it: with ``journal_dir``
+every worker journals its accepted batches to a per-shard
+:class:`~repro.engine.journal.FixJournal`, and ``restart_workers=N``
+allows up to N restarts per shard, where the parent respawns the worker,
+the worker rebuilds its pre-crash state by replaying its shard journal
+(``StreamEngine.recover``), and the parent re-drives the batches the
+dead worker never journaled from its pending-acknowledgement buffer.
+Supervised pushes are sequence-numbered and acknowledged after they are
+journaled, so the buffer stays small and the re-drive is exact: no
+acknowledged fix lost, none applied twice.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import zlib
 from array import array
 from typing import Callable, Dict, Iterable, List, Sequence
@@ -31,7 +50,36 @@ from ..model.trajectory import CompressedTrajectory
 from .core import DeviceId, Fix, StreamEngine
 from .sanitize import FeedReport, SanitizePolicy
 
-__all__ = ["ShardedStreamEngine", "shard_of"]
+__all__ = ["ShardCrashError", "ShardedStreamEngine", "shard_of"]
+
+
+class ShardCrashError(RuntimeError):
+    """A shard worker died mid-ingest (and could not be restarted).
+
+    Subclasses ``RuntimeError`` so existing ``except RuntimeError``
+    handling keeps working; the message always starts with ``"sharded
+    ingestion failed: "``.
+
+    Attributes:
+        shard: index of the dead worker.
+        exitcode: the worker process's exit code (negative = killed by
+            that signal), or ``None`` if it could not be reaped.
+        device_ids: the device ids routed to that shard this run — the
+            devices whose unsealed streams the crash affected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int,
+        exitcode: int | None = None,
+        device_ids: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode
+        self.device_ids = device_ids
 
 
 def shard_of(device_id: DeviceId, workers: int) -> int:
@@ -44,8 +92,21 @@ def shard_of(device_id: DeviceId, workers: int) -> int:
     return zlib.crc32(payload) % workers
 
 
+def _shard_journal_path(journal_dir, shard: int) -> str:
+    return os.path.join(os.fspath(journal_dir), f"shard-{shard:04d}")
+
+
 def _worker_main(
-    conn, compressor_factory, engine_kwargs, sink_factory, shard, geodetic
+    conn,
+    compressor_factory,
+    engine_kwargs,
+    sink_factory,
+    shard,
+    geodetic,
+    journal_dir=None,
+    journal_fsync=False,
+    supervised=False,
+    recover=False,
 ) -> None:
     """Worker loop: apply columnar pushes, answer ``finish`` with results.
 
@@ -65,35 +126,80 @@ def _worker_main(
     projection work parallelizes with the compression.  Both engines share
     the ``push_columns(ids, ts, c1, c2)`` shape, so the message protocol
     is untouched.
+
+    With ``journal_dir`` the worker's engine journals into its own
+    per-shard directory.  ``supervised`` switches the protocol to
+    sequence-numbered pushes: the worker opens with ``("ready",
+    journal_seq)`` (after replaying the shard journal when ``recover``),
+    and acknowledges every push with ``("ack", seq)`` once it is
+    journaled — the parent's restart logic prunes its pending buffer on
+    those acks and re-drives the unacknowledged tail after a respawn.
     """
     failure: str | None = None
     sink = None
+    engine = None
     try:
         if sink_factory is not None:
             sink = sink_factory(shard)
         if geodetic:
-            from .geodetic import GeoStreamEngine
-
-            engine = GeoStreamEngine(
-                compressor_factory, sink=sink, **engine_kwargs
-            )
+            from .geodetic import GeoStreamEngine as engine_cls
         else:
-            engine = StreamEngine(compressor_factory, sink=sink, **engine_kwargs)
+            engine_cls = StreamEngine
+        if journal_dir is not None:
+            journal_path = _shard_journal_path(journal_dir, shard)
+            if recover:
+                # The shard's own durable store (when its sink is one)
+                # closes the emit-before-checkpoint window during replay.
+                dedupe = (
+                    getattr(sink, "store", None)
+                    if getattr(sink, "durable", False)
+                    else None
+                )
+                engine = engine_cls.recover(
+                    journal_path,
+                    compressor_factory,
+                    sink=sink,
+                    dedupe_store=dedupe,
+                    journal_fsync=journal_fsync,
+                    **engine_kwargs,
+                )
+            else:
+                engine = engine_cls(
+                    compressor_factory,
+                    sink=sink,
+                    journal=journal_path,
+                    journal_fsync=journal_fsync,
+                    **engine_kwargs,
+                )
+        else:
+            engine = engine_cls(compressor_factory, sink=sink, **engine_kwargs)
     except Exception as exc:
         failure = f"{type(exc).__name__}: {exc}"
         engine = None
     try:
+        if supervised:
+            base = 0
+            if engine is not None and engine.journal is not None:
+                base = engine.journal.last_seq
+            conn.send(("ready", base))
         while True:
             message = conn.recv()
             tag = message[0]
             if tag == "push":
+                if supervised:
+                    seq, ids, ts, xs, ys = message[1:]
+                else:
+                    seq, (ids, ts, xs, ys) = None, message[1:]
                 if failure is None:
                     try:
-                        engine.push_columns(
-                            message[1], message[2], message[3], message[4]
-                        )
+                        engine.push_columns(ids, ts, xs, ys)
                     except Exception as exc:  # reported, not fatal to the pipe
                         failure = f"{type(exc).__name__}: {exc}"
+                if supervised:
+                    # Ack after the journal frame landed (the engine
+                    # journals write-ahead, so even a batch that raised
+                    # mid-ingest is journaled before the error).
+                    conn.send(("ack", seq))
             elif tag == "finish":
                 if failure is None:
                     try:
@@ -147,6 +253,17 @@ class ShardedStreamEngine:
     ``RuntimeError`` (the in-process engine treats ``finish_all`` as a
     checkpoint and keeps accepting batches).  Use as a context manager, or
     call :meth:`finish_all` / :meth:`close` explicitly.
+
+    ``journal_dir`` makes every worker journal its accepted batches into
+    ``journal_dir/shard-%04d`` (see :class:`~repro.engine.journal.
+    FixJournal`); ``journal_fsync`` extends the durability to power loss.
+    ``restart_workers=N`` additionally *supervises* the shards: a worker
+    that dies mid-ingest is respawned (up to N times per shard), replays
+    its shard journal to rebuild its pre-crash state, and the parent
+    re-drives the batches the dead worker never acknowledged.  A crash
+    past the restart budget — or any crash when supervision is off —
+    raises :class:`ShardCrashError` naming the shard, its exit code, and
+    the devices routed to it.
     """
 
     def __init__(
@@ -161,9 +278,21 @@ class ShardedStreamEngine:
         geodetic: bool = False,
         policy: SanitizePolicy | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
+        journal_dir: str | os.PathLike | None = None,
+        journal_fsync: bool = False,
+        restart_workers: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if restart_workers < 0:
+            raise ValueError(
+                f"restart_workers must be >= 0, got {restart_workers!r}"
+            )
+        if restart_workers and journal_dir is None:
+            raise ValueError(
+                "restart_workers requires journal_dir: a respawned worker "
+                "rebuilds its state from its shard journal"
+            )
         ctx = mp_context if mp_context is not None else multiprocessing.get_context()
         # SanitizePolicy is a frozen scalar dataclass, so it ships to the
         # workers in the start-up pickle like the compressor factory.
@@ -180,28 +309,104 @@ class ShardedStreamEngine:
         #: Per-device sanitation ledgers, merged from the workers at
         #: :meth:`finish_all` (empty before it, and without a policy).
         self._device_reports: Dict[DeviceId, FeedReport] = {}
+        self._supervised = restart_workers > 0
+        self._restart_budget = restart_workers
+        self._restarts = [0] * workers
+        #: Everything a respawn needs to rebuild a worker.
+        self._spawn_args = (
+            compressor_factory,
+            engine_kwargs,
+            sink_factory,
+            geodetic,
+            journal_dir,
+            journal_fsync,
+        )
+        self._ctx = ctx
+        #: Device ids routed to each shard this run (the blast radius a
+        #: :class:`ShardCrashError` reports).
+        self._shard_devices: List[set] = [set() for _ in range(workers)]
+        #: Supervised mode: per-shard batch sequence, unacknowledged
+        #: batches (seq → columns, insertion-ordered), and the journal
+        #: seq each worker started from (maps parent seq ↔ journal seq).
+        self._seq = [0] * workers
+        self._pending: List[Dict[int, tuple]] | None = (
+            [{} for _ in range(workers)] if self._supervised else None
+        )
+        self._shard_base = [0] * workers
         try:
             for shard in range(workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        child_conn,
-                        compressor_factory,
-                        engine_kwargs,
-                        sink_factory,
-                        shard,
-                        geodetic,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
+                self._conns.append(None)
+                self._procs.append(None)
+                self._spawn_worker(shard, recover=False)
+            if self._supervised:
+                for shard in range(workers):
+                    self._shard_base[shard] = self._handshake(shard)
         except Exception:
             self.close()
             raise
+
+    def _spawn_worker(self, shard: int, *, recover: bool) -> None:
+        (
+            compressor_factory,
+            engine_kwargs,
+            sink_factory,
+            geodetic,
+            journal_dir,
+            journal_fsync,
+        ) = self._spawn_args
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                compressor_factory,
+                engine_kwargs,
+                sink_factory,
+                shard,
+                geodetic,
+                journal_dir,
+                journal_fsync,
+                self._supervised,
+                recover,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[shard] = parent_conn
+        self._procs[shard] = proc
+
+    def _handshake(self, shard: int) -> int:
+        """Receive a supervised worker's ``("ready", journal_seq)``."""
+        try:
+            tag, base = self._conns[shard].recv()
+        except (EOFError, OSError) as exc:
+            raise self._crash_error(shard, cause=exc) from exc
+        if tag != "ready":
+            raise RuntimeError(
+                f"worker {shard}: expected ready handshake, got {tag!r}"
+            )
+        return base
+
+    def _crash_error(self, shard: int, cause=None) -> ShardCrashError:
+        proc = self._procs[shard]
+        exitcode = None
+        if proc is not None:
+            proc.join(timeout=5.0)
+            exitcode = proc.exitcode
+        devices = sorted(self._shard_devices[shard], key=str)
+        sample = ", ".join(repr(d) for d in devices[:8])
+        if len(devices) > 8:
+            sample += f", ... ({len(devices) - 8} more)"
+        detail = f" after {cause!r}" if cause is not None else ""
+        return ShardCrashError(
+            f"sharded ingestion failed: worker {shard} died "
+            f"(exitcode {exitcode}){detail}; "
+            f"{len(devices)} device(s) routed to it: [{sample}]",
+            shard=shard,
+            exitcode=exitcode,
+            device_ids=tuple(devices),
+        )
 
     # -- ingestion -----------------------------------------------------------
 
@@ -263,36 +468,99 @@ class ShardedStreamEngine:
     def _send_shards(self, shards) -> None:
         if self._finished:
             raise RuntimeError("finish_all() already called")
+        if self._supervised:
+            # Drain every shard's acks first so the reply pipes never
+            # back up no matter how batches distribute across shards.
+            for shard in range(self.workers):
+                self._drain_acks(shard)
         for shard, (ids, ts, xs, ys) in shards.items():
-            self._conns[shard].send(("push", ids, ts, xs, ys))
+            self._shard_devices[shard].update(ids)
+            if self._supervised:
+                seq = self._seq[shard] + 1
+                self._seq[shard] = seq
+                self._pending[shard][seq] = (ids, ts, xs, ys)
+                try:
+                    self._conns[shard].send(("push", seq, ids, ts, xs, ys))
+                except (BrokenPipeError, OSError):
+                    # The batch is already in the pending buffer; the
+                    # restart re-drives it with everything else unacked.
+                    self._restart_shard(shard)
+            else:
+                try:
+                    self._conns[shard].send(("push", ids, ts, xs, ys))
+                except (BrokenPipeError, OSError) as exc:
+                    raise self._crash_error(shard, cause=exc) from exc
+
+    def _drain_acks(self, shard: int) -> None:
+        """Prune the shard's pending buffer on any queued acks."""
+        conn = self._conns[shard]
+        pending = self._pending[shard]
+        try:
+            while conn.poll(0):
+                message = conn.recv()
+                if message[0] == "ack":
+                    pending.pop(message[1], None)
+        except (EOFError, OSError):
+            self._restart_shard(shard)
+
+    def _restart_shard(self, shard: int) -> None:
+        """Respawn a dead worker and re-drive its unacknowledged batches.
+
+        Raises the :class:`ShardCrashError` instead when supervision is
+        off or the shard's restart budget is spent.
+        """
+        proc = self._procs[shard]
+        if proc is not None and proc.is_alive():
+            # The pipe broke but the process lives (wedged worker): a
+            # restart would fork a competitor for its journal and sink.
+            proc.terminate()
+        if not self._supervised or self._restarts[shard] >= self._restart_budget:
+            raise self._crash_error(shard)
+        if proc is not None:
+            proc.join(timeout=5.0)  # reap the corpse before respawning
+        self._restarts[shard] += 1
+        try:
+            self._conns[shard].close()
+        except OSError:
+            pass
+        self._spawn_worker(shard, recover=True)
+        journal_seq = self._handshake(shard)
+        delivered = journal_seq - self._shard_base[shard]
+        pending = self._pending[shard]
+        for seq in [s for s in pending if s <= delivered]:
+            del pending[seq]
+        for seq, (ids, ts, xs, ys) in sorted(pending.items()):
+            try:
+                self._conns[shard].send(("push", seq, ids, ts, xs, ys))
+            except (BrokenPipeError, OSError):
+                return self._restart_shard(shard)
 
     # -- lifecycle -----------------------------------------------------------
 
     def finish_all(self) -> Dict[DeviceId, List[CompressedTrajectory]]:
         """Seal every stream on every worker and merge their results.
 
-        Raises ``RuntimeError`` carrying the first worker-side ingestion
-        error, if any occurred.
+        Raises :class:`ShardCrashError` if a worker died (and, under
+        supervision, could not be restarted within budget), or a plain
+        ``RuntimeError`` carrying the first worker-side ingestion error.
+        Healthy shards' results are still merged before the raise is
+        decided, and the workers are torn down either way.
         """
         if self._finished:
             raise RuntimeError("finish_all() already called")
         self._finished = True
         merged: Dict[DeviceId, List[CompressedTrajectory]] = {}
         errors: List[str] = []
+        crash: ShardCrashError | None = None
         try:
-            for shard, conn in enumerate(self._conns):
+            for shard in range(self.workers):
                 try:
-                    conn.send(("finish",))
-                except (BrokenPipeError, OSError) as exc:
-                    errors.append(f"worker {shard} unreachable: {exc}")
-            for shard, conn in enumerate(self._conns):
-                try:
-                    reply = conn.recv()
-                except (EOFError, OSError) as exc:
-                    # Worker died without replying (e.g. an exception
-                    # outside its push handler); keep the healthy shards'
-                    # results and report the casualty.
-                    errors.append(f"worker {shard} died before replying: {exc!r}")
+                    reply = self._finish_shard(shard)
+                except ShardCrashError as exc:
+                    # Keep the healthy shards' results and report the
+                    # casualty after every shard had its chance.
+                    if crash is None:
+                        crash = exc
                     continue
                 if reply[0] == "ok":
                     # device ↛ two shards: both mappings' keys disjoint
@@ -302,9 +570,31 @@ class ShardedStreamEngine:
                     errors.append(reply[1])
         finally:
             self.close()
+        if crash is not None:
+            raise crash
         if errors:
             raise RuntimeError(f"sharded ingestion failed: {errors[0]}")
         return merged
+
+    def _finish_shard(self, shard: int):
+        """Send ``finish`` to one shard and return its final reply,
+        restarting the worker (within budget) if it dies on the way."""
+        while True:
+            conn = self._conns[shard]
+            try:
+                conn.send(("finish",))
+                while True:
+                    reply = conn.recv()
+                    if reply[0] == "ack":
+                        if self._pending is not None:
+                            self._pending[shard].pop(reply[1], None)
+                        continue
+                    return reply
+            except (BrokenPipeError, EOFError, OSError):
+                # Raises ShardCrashError when restarting is not allowed;
+                # otherwise the worker is rebuilt from its journal and
+                # the loop re-sends the finish.
+                self._restart_shard(shard)
 
     def feed_report(self) -> FeedReport:
         """The fleet-wide sanitation ledger, merged across every shard.
@@ -324,11 +614,15 @@ class ShardedStreamEngine:
     def close(self) -> None:
         """Tear the workers down (idempotent; called by ``finish_all``)."""
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.close()
             except OSError:
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             if proc.is_alive():
                 proc.terminate()
             proc.join(timeout=5.0)

@@ -1,0 +1,78 @@
+"""The pluggable filesystem seam under every durable write path.
+
+The storage layer (`repro.storage.store`, `repro.storage.index`) and the
+write-ahead fix journal (`repro.engine.journal`) route their *mutating*
+filesystem operations — opening files for write, ``os.replace`` commits,
+``os.fsync`` — through this module instead of calling the builtins
+directly.  In production the seam is a passthrough with no measurable
+cost; under test, :mod:`repro.testing.faults` installs a shim here to
+inject ENOSPC budgets, torn writes, dropped fsyncs, rename failures and
+seeded kill-9 points without monkeypatching individual modules.
+
+Read paths deliberately stay on the builtins: every fault this layer
+models (full disk, torn tail, lying fsync, a crash between write and
+rename) is a *write-side* event, and keeping reads native means the
+recovery code under test reopens files exactly the way production does.
+
+Only one shim is active per process (`install` swaps it atomically);
+the :func:`injected` context manager scopes a shim to a block and always
+restores the previous one.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["PassthroughFS", "open_file", "replace", "fsync", "install", "injected"]
+
+
+class PassthroughFS:
+    """The default seam: real filesystem, zero indirection beyond a call."""
+
+    def open(self, path, mode="rb", **kwargs):
+        return open(path, mode, **kwargs)
+
+    def replace(self, src, dst) -> None:
+        os.replace(src, dst)
+
+    def fsync(self, fileno: int) -> None:
+        os.fsync(fileno)
+
+
+_active = PassthroughFS()
+
+
+def open_file(path, mode="rb", **kwargs):
+    """Open a file through the active seam (use for write handles)."""
+    return _active.open(path, mode, **kwargs)
+
+
+def replace(src, dst) -> None:
+    """``os.replace`` through the active seam (atomic commit points)."""
+    _active.replace(src, dst)
+
+
+def fsync(fileno: int) -> None:
+    """``os.fsync`` through the active seam."""
+    _active.fsync(fileno)
+
+
+def install(shim) -> object:
+    """Install a shim (``None`` restores the passthrough); returns the
+    previously active one so callers can restore it."""
+    global _active
+    previous = _active
+    _active = shim if shim is not None else PassthroughFS()
+    return previous
+
+
+@contextmanager
+def injected(shim):
+    """Scope a shim to a ``with`` block, restoring the previous seam on
+    exit no matter how the block ends."""
+    previous = install(shim)
+    try:
+        yield shim
+    finally:
+        install(previous)

@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+from .. import fsio
 from ..model.projection import UTMProjection
 
 __all__ = [
@@ -355,15 +356,15 @@ def write_sidecar(
     path = Path(path)
     tmp = path.with_suffix(".idx.tmp")
     try:
-        with open(tmp, "wb") as handle:
+        with fsio.open_file(tmp, "wb") as handle:
             handle.write(_HEADER)
             handle.write(rows_b)
             handle.write(meta)
             handle.write(footer)
             if fsync:
                 handle.flush()
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
+                fsio.fsync(handle.fileno())
+        fsio.replace(tmp, path)
     except OSError:
         # A half-written tmp must not outlive the failure: a later rename
         # (or a naive glob) could promote a truncated sidecar.  The store

@@ -46,6 +46,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Iterator, List, Set, Tuple
 
+from .. import fsio
 from ..model.projection import UTMProjection
 from ..model.trajectory import CompressedTrajectory
 from .codec import (
@@ -447,21 +448,30 @@ class TrajectoryStore:
 
     def _write_manifest(self) -> None:
         tmp = self.directory / (_MANIFEST + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(
-                {
-                    "format": _FORMAT,
-                    "segments": self._segments,
-                    "next_segment": self._next_segment,
-                    "generation": self._generation,
-                },
-                handle,
-            )
-            handle.write("\n")
-            if self._fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
-        os.replace(tmp, self.directory / _MANIFEST)
+        try:
+            with fsio.open_file(tmp, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "format": _FORMAT,
+                        "segments": self._segments,
+                        "next_segment": self._next_segment,
+                        "generation": self._generation,
+                    },
+                    handle,
+                )
+                handle.write("\n")
+                if self._fsync:
+                    handle.flush()
+                    fsio.fsync(handle.fileno())
+            fsio.replace(tmp, self.directory / _MANIFEST)
+        except OSError:
+            # A failed write (ENOSPC mid-dump) must not leave a stale
+            # ``manifest.json.tmp`` shadowing the next commit attempt.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def _open_segment(self) -> None:
         self._seal_tail()
@@ -476,7 +486,7 @@ class TrajectoryStore:
         # appending would land new frames behind its stale ones while the
         # offset accounting starts at zero.  Truncate whatever is there,
         # and drop any orphan sidecar with it.
-        self._handle = open(self.directory / name, "wb")
+        self._handle = fsio.open_file(self.directory / name, "wb")
         idx_orphan = sidecar_path(self.directory, name)
         if idx_orphan.exists():
             idx_orphan.unlink()
@@ -499,7 +509,7 @@ class TrajectoryStore:
                 and self._active not in self.scan_report
             ):
                 self._materialize_tail()
-                self._handle = open(self.directory / self._active, "ab")
+                self._handle = fsio.open_file(self.directory / self._active, "ab")
                 self._tail_dirty = True
             else:
                 self._open_segment()
@@ -516,7 +526,7 @@ class TrajectoryStore:
         self._handle.write(payload)
         self._handle.flush()
         if self._fsync:
-            os.fsync(self._handle.fileno())
+            fsio.fsync(self._handle.fileno())
         self._active_size += len(frame) + len(payload)
         return self._active, offset, len(frame) + len(payload)
 
@@ -845,6 +855,13 @@ class TrajectoryStore:
     def segment_names(self) -> List[str]:
         return list(self._segments)
 
+    @property
+    def generation(self) -> int:
+        """The manifest's compaction-generation counter (bumped by each
+        :meth:`compact`; stale readers detect it via
+        :class:`StaleStoreError`)."""
+        return self._generation
+
     def total_bytes(self) -> int:
         """Bytes on disk across live segment files."""
         total = 0
@@ -853,6 +870,26 @@ class TrajectoryStore:
             if path.exists():
                 total += path.stat().st_size
         return total
+
+    def content_digest(self) -> str:
+        """SHA-256 over every live record's payload, in per-device append
+        order — a physical-layout-independent fingerprint of the store's
+        *content*: two stores hold byte-identical trajectories exactly
+        when their digests match, regardless of segment boundaries or
+        compactions.  The crash harness and the durability bench pin
+        recovery correctness on it.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for device_id in sorted(self.devices()):
+            h.update(device_id.encode("utf-8", "surrogatepass"))
+            h.update(b"\x00")
+            for ref in self.device_manifest(device_id):
+                payload = self._read_payload(ref)
+                h.update(_FRAME.pack(len(payload), zlib.crc32(payload)))
+                h.update(payload)
+        return h.hexdigest()
 
     def time_span(self) -> Tuple[float, float] | None:
         if not self._max_tomb:
@@ -947,7 +984,7 @@ class TrajectoryStore:
                     new_views.append(ScannedSegment(name))
                     # "wb" truncates an orphan from an earlier crashed
                     # compaction that reused this segment number.
-                    handle = open(self.directory / name, "wb")
+                    handle = fsio.open_file(self.directory / name, "wb")
                     size = 0
                 frame = _FRAME.pack(len(payload), zlib.crc32(payload))
                 offset = size
@@ -975,7 +1012,7 @@ class TrajectoryStore:
             if handle is not None:
                 handle.flush()
                 if self._fsync:
-                    os.fsync(handle.fileno())
+                    fsio.fsync(handle.fileno())
                 handle.close()
                 handle = None
         finally:
@@ -1032,7 +1069,7 @@ class TrajectoryStore:
         if self._handle is not None:
             self._handle.flush()
             if self._fsync:
-                os.fsync(self._handle.fileno())
+                fsio.fsync(self._handle.fileno())
 
     def close(self) -> None:
         self._seal_tail()
@@ -1122,12 +1159,19 @@ def migrate_store(
 
 def _atomic_manifest(directory: Path, doc: dict) -> None:
     tmp = directory / (_MANIFEST + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, directory / _MANIFEST)
+    try:
+        with fsio.open_file(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+            handle.write("\n")
+            handle.flush()
+            fsio.fsync(handle.fileno())
+        fsio.replace(tmp, directory / _MANIFEST)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _migrate_format1(
@@ -1150,12 +1194,12 @@ def _migrate_format1(
         nonlocal handle, size, next_segment
         if handle is not None:
             handle.flush()
-            os.fsync(handle.fileno())
+            fsio.fsync(handle.fileno())
             handle.close()
         name = _SEGMENT_FMT.format(next_segment)
         next_segment += 1
         new_segments.append(name)
-        handle = open(directory / name, "wb")
+        handle = fsio.open_file(directory / name, "wb")
         size = 0
 
     try:
@@ -1193,7 +1237,7 @@ def _migrate_format1(
     finally:
         if handle is not None:
             handle.flush()
-            os.fsync(handle.fileno())
+            fsio.fsync(handle.fileno())
             handle.close()
 
     _atomic_manifest(
@@ -1251,6 +1295,10 @@ class StoreSink:
     Device ids are stringified on write: the store keys records by UTF-8
     string, which round-trips the engine's string ids unchanged.
     """
+
+    #: Deliveries survive a crash — recovery replay must not repeat them
+    #: (volatile sinks are re-delivered instead; see ``EmitGate``).
+    durable = True
 
     def __init__(
         self,

@@ -129,9 +129,10 @@ class TestCLI:
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 6
+        assert doc["schema"] == 7
         assert doc["geodetic"] is None
         assert doc["dirty_fleet"] is None  # rides with --no-fleet
+        assert doc["durability"] is None  # rides with --no-fleet too
         assert len(doc["scale"]) == 1
         scale = doc["scale"][0]
         assert scale["records"] == 1500
@@ -468,6 +469,37 @@ class TestStorageBench:
         new.write_text(json.dumps(doc("b" * 16)))
         assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
         assert "codec output moved" in capsys.readouterr().out
+
+    def test_compare_flags_durability_behaviour(self, tmp_path, capsys):
+        def doc(store_digest, recovered_digest, fps=1000.0):
+            return {
+                "schema": 7,
+                "results": [],
+                "durability": {
+                    "devices": 25,
+                    "fixes_per_device": 80,
+                    "journal_fixes_per_sec": fps,
+                    "store_digest": store_digest,
+                    "recovered_digest": recovered_digest,
+                },
+            }
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(doc("a" * 64, "a" * 64)))
+        new.write_text(json.dumps(doc("a" * 64, "a" * 64)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        capsys.readouterr()
+        new.write_text(json.dumps(doc("b" * 64, "a" * 64)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+        assert "persisted store moved" in capsys.readouterr().out
+        new.write_text(json.dumps(doc("a" * 64, "c" * 64)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 1
+        assert "recovered store moved" in capsys.readouterr().out
+        # Timing-only slowdowns warn but do not fail the behaviour gate.
+        new.write_text(json.dumps(doc("a" * 64, "a" * 64, fps=100.0)))
+        assert main(["compare", str(old), str(new), "--fail-on-behaviour"]) == 0
+        assert "journaled ingest fell" in capsys.readouterr().out
 
     def test_geodetic_record_fields_and_bracket_audit(self):
         from repro.bench.geodetic import run_geodetic_bench

@@ -1,0 +1,225 @@
+"""Fault-injection and kill-9 crash tests for the durable write paths.
+
+Covers the :mod:`repro.fsio` shims (ENOSPC budgets, torn writes, failing
+renames, lying fsync), the store's atomic-commit hygiene under those
+faults, the forked kill-9 ingest/compact harnesses, and the sharded
+engine's typed crash surface + supervised restart.
+"""
+
+import functools
+import os
+import signal
+import time
+
+import pytest
+
+from repro import fsio
+from repro.engine import (
+    ShardCrashError,
+    ShardedStreamEngine,
+    StreamEngine,
+    fleet_fixes,
+    iter_fix_batches,
+    shard_of,
+)
+from repro.storage.store import StoreSink, TrajectoryStore
+from repro.testing import FaultyFS, KillFS, run_compact_kill, run_crash_ingest
+
+
+def _factory(device_id):
+    from repro.compression import BQSCompressor
+
+    return BQSCompressor(5.0)
+
+
+class TestFaultyFS:
+    def test_enospc_budget_tears_the_write(self, tmp_path):
+        shim = FaultyFS(enospc_after=10)
+        path = tmp_path / "f"
+        with fsio.injected(shim):
+            handle = fsio.open_file(path, "wb")
+            with pytest.raises(OSError) as info:
+                handle.write(b"0123456789ABCDEF")
+            handle.close()
+        assert info.value.errno == __import__("errno").ENOSPC
+        assert path.read_bytes() == b"0123456789"  # the bytes that fit
+        assert shim.bytes_written == 10
+
+    def test_torn_write_persists_half(self, tmp_path):
+        shim = FaultyFS(torn_write_at=2)
+        path = tmp_path / "f"
+        with fsio.injected(shim):
+            handle = fsio.open_file(path, "wb")
+            handle.write(b"intact")
+            with pytest.raises(OSError):
+                handle.write(b"12345678")
+            handle.close()
+        assert path.read_bytes() == b"intact" + b"1234"
+
+    def test_replace_failure_and_fsync_drop(self, tmp_path):
+        shim = FaultyFS(fail_replace_at=1, drop_fsync=True)
+        src = tmp_path / "src"
+        src.write_bytes(b"x")
+        with fsio.injected(shim):
+            with pytest.raises(OSError):
+                fsio.replace(src, tmp_path / "dst")
+            handle = fsio.open_file(tmp_path / "g", "wb")
+            handle.write(b"y")
+            fsio.fsync(handle.fileno())  # swallowed, not forwarded
+            handle.close()
+        assert src.exists() and not (tmp_path / "dst").exists()
+        assert shim.replaces == 1 and shim.fsyncs == 1
+
+    def test_reads_stay_native(self, tmp_path):
+        (tmp_path / "r").write_bytes(b"data")
+        with fsio.injected(FaultyFS(enospc_after=0)):
+            with fsio.open_file(tmp_path / "r", "rb") as handle:
+                assert handle.read() == b"data"
+
+
+class TestManifestCommitHygiene:
+    """Satellite regression: a failed manifest write must not leave a
+    stale ``manifest.json.tmp`` shadowing the next commit."""
+
+    def _store_with_data(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "store")
+        engine = StreamEngine(_factory, collect=False, sink=StoreSink(store))
+        ids, cols = fleet_fixes(4, 30, seed=1)
+        for batch in iter_fix_batches(ids, cols, 32):
+            engine.push_columns(*batch)
+        engine.finish_all()
+        return store
+
+    def test_enospc_mid_manifest_leaves_no_tmp(self, tmp_path):
+        store = self._store_with_data(tmp_path)
+        shim = FaultyFS(enospc_after=0)
+        with fsio.injected(shim):
+            with pytest.raises(OSError):
+                store._write_manifest()
+        assert not (tmp_path / "store" / "manifest.json.tmp").exists()
+        # The store is still live and the next commit succeeds.
+        store._write_manifest()
+        store.close()
+        with TrajectoryStore(tmp_path / "store") as reopened:
+            assert reopened.record_count > 0
+
+    def test_failed_replace_leaves_no_tmp(self, tmp_path):
+        store = self._store_with_data(tmp_path)
+        with fsio.injected(FaultyFS(fail_replace_at=1)):
+            with pytest.raises(OSError):
+                store._write_manifest()
+        assert not (tmp_path / "store" / "manifest.json.tmp").exists()
+        store.close()
+
+
+class TestKillHarnesses:
+    def test_kill_at_batch_boundary(self, tmp_path):
+        report = run_crash_ingest(tmp_path, seed=0, kill_batch=3)
+        assert report["killed"]
+        assert report["acked_batches"] >= 3
+        assert report["recovery"]["last_seq"] >= report["acked_batches"]
+
+    def test_kill_mid_write(self, tmp_path):
+        report = run_crash_ingest(tmp_path, seed=1, kill_bytes=6000)
+        assert report["killed"]
+        # The journal scan either found a clean tail or dropped a torn one;
+        # both end in the digest assertion inside the harness passing.
+        assert report["recovery"]["last_seq"] >= report["acked_batches"]
+
+    def test_no_kill_recovery_is_noop(self, tmp_path):
+        report = run_crash_ingest(tmp_path, seed=0)
+        assert not report["killed"]
+        assert report["acked_batches"] == report["total_batches"]
+        # finish_all rotated the journal, so there is nothing to replay.
+        assert report["recovery"]["batches_replayed"] == 0
+
+    def test_mutually_exclusive_kill_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_crash_ingest(tmp_path, kill_batch=1, kill_bytes=100)
+
+    def test_compact_kill_keeps_one_full_generation(self, tmp_path):
+        report = run_compact_kill(tmp_path, seed=0, kill_bytes=512)
+        assert report["child_exitcode"] == -signal.SIGKILL
+        assert report["generation_after"] in (
+            report["generation_before"],
+            report["generation_before"] + 1,
+        )
+
+    def test_killfs_tears_exactly_at_budget(self, tmp_path):
+        # KillFS in-process semantics (without the kill): the budget math
+        # mirrors FaultyFS, so exercise only the bookkeeping here.
+        shim = KillFS(kill_after_bytes=1 << 30)
+        with fsio.injected(shim):
+            handle = fsio.open_file(tmp_path / "f", "wb")
+            handle.write(b"abc")
+            handle.close()
+        assert shim.bytes_written == 3
+
+
+class TestShardCrash:
+    @pytest.fixture()
+    def stream(self):
+        ids, cols = fleet_fixes(8, 80, seed=9)
+        return ids, cols
+
+    def _reference(self, ids, cols):
+        engine = StreamEngine(_factory)
+        for batch in iter_fix_batches(ids, cols, 64):
+            engine.push_columns(*batch)
+        return {
+            device_id: [t.key_points for t in trajectories]
+            for device_id, trajectories in engine.finish_all().items()
+        }
+
+    def test_unsupervised_crash_is_typed(self, stream):
+        ids, cols = stream
+        engine = ShardedStreamEngine(_factory, workers=2)
+        try:
+            batches = list(iter_fix_batches(ids, cols, 64))
+            engine.push_columns(*batches[0])
+            os.kill(engine._procs[0].pid, signal.SIGKILL)
+            time.sleep(0.3)
+            with pytest.raises(ShardCrashError) as info:
+                for batch in batches[1:]:
+                    engine.push_columns(*batch)
+                engine.finish_all()
+        finally:
+            engine.close()
+        error = info.value
+        assert isinstance(error, RuntimeError)  # legacy handlers keep working
+        assert str(error).startswith("sharded ingestion failed: ")
+        assert error.shard == 0
+        assert error.exitcode == -signal.SIGKILL
+        assert error.device_ids  # the blast radius is named
+        assert all(shard_of(d, 2) == 0 for d in error.device_ids)
+
+    def test_supervised_restart_reproduces_results(self, tmp_path, stream):
+        ids, cols = stream
+        reference = self._reference(ids, cols)
+        batches = list(iter_fix_batches(ids, cols, 64))
+        engine = ShardedStreamEngine(
+            _factory,
+            workers=2,
+            journal_dir=tmp_path / "wal",
+            restart_workers=2,
+        )
+        try:
+            half = len(batches) // 2
+            for batch in batches[:half]:
+                engine.push_columns(*batch)
+            os.kill(engine._procs[0].pid, signal.SIGKILL)
+            time.sleep(0.3)
+            for batch in batches[half:]:
+                engine.push_columns(*batch)
+            results = engine.finish_all()
+        finally:
+            engine.close()
+        assert engine._restarts[0] >= 1
+        assert {
+            device_id: [t.key_points for t in trajectories]
+            for device_id, trajectories in results.items()
+        } == reference
+
+    def test_restart_requires_journal(self):
+        with pytest.raises(ValueError, match="journal_dir"):
+            ShardedStreamEngine(_factory, workers=2, restart_workers=1)

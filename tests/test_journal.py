@@ -1,0 +1,419 @@
+"""Write-ahead fix journal tests: format round-trips, torn tails, replay.
+
+The journal's contract is bit-identical recovery: replaying a crashed
+engine's journal through a fresh engine with the same configuration must
+reproduce exactly the sealed output the uninterrupted run produces — no
+acknowledged fix lost, nothing sealed twice into a durable sink — at any
+crash point, for planar and geodetic engines alike.
+"""
+
+import functools
+import struct
+import zlib
+
+import pytest
+
+from repro.engine import (
+    FixJournal,
+    GeoStreamEngine,
+    JournalError,
+    StreamEngine,
+    fleet_fixes,
+    gps_fleet_fixes,
+    iter_fix_batches,
+    iter_geo_fix_batches,
+)
+from repro.engine.journal import _FRAME, _HEADER, _REC_SEAL
+from repro.storage.store import StoreSink, TrajectoryStore
+
+EPSILON = 5.0
+
+
+def _factory(device_id):
+    from repro.compression import BQSCompressor
+
+    return BQSCompressor(EPSILON)
+
+
+def _push_groups(seq_salt=0):
+    return {
+        "car-1": ([0.0 + seq_salt, 1.0], [0.0, 5.0], [0.0, -5.0]),
+        17: ([2.5], [1e-9], [1234.5678]),
+        b"\x00raw": ([3.0, 4.0], [float("-0.0"), 2.0**-1074], [1e308, -7.0]),
+    }
+
+
+def _results_digestable(results):
+    """Per-device key points, comparable across runs."""
+    return {
+        device_id: [t.key_points for t in trajectories]
+        for device_id, trajectories in results.items()
+    }
+
+
+class TestJournalFormat:
+    def test_push_round_trip_bit_exact(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        groups_a = _push_groups(0)
+        groups_b = _push_groups(100)
+        assert journal.log_push(groups_a) == 1
+        assert journal.log_push(groups_b) == 2
+        journal.log_finish("car-1")
+        journal.log_finish_all()
+        journal.close()
+
+        reopened = FixJournal(tmp_path / "wal", keep_records=True)
+        records = list(reopened.iter_records())
+        assert [r[0] for r in records] == [
+            "push", "push", "finish", "finish_all",
+        ]
+        assert records[0][1] == 1 and records[1][1] == 2
+        for record, groups in ((records[0], groups_a), (records[1], groups_b)):
+            replayed = record[2]
+            assert set(replayed) == set(groups)
+            for device_id, (ts, xs, ys) in groups.items():
+                got_ts, got_xs, got_ys = replayed[device_id]
+                # Bit-exact floats: -0.0, denormals, 1e308 all round-trip.
+                assert [t for t in got_ts] == ts
+                assert struct.pack(f"<{len(xs)}d", *got_xs) == struct.pack(
+                    f"<{len(xs)}d", *xs
+                )
+                assert struct.pack(f"<{len(ys)}d", *got_ys) == struct.pack(
+                    f"<{len(ys)}d", *ys
+                )
+        assert records[2][1] == "car-1"
+        assert reopened.last_seq == 2
+        reopened.close()
+
+    def test_unjournalable_device_ids_rejected(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        with pytest.raises(JournalError, match="bool"):
+            journal.log_push({True: ([0.0], [0.0], [0.0])})
+        with pytest.raises(JournalError, match="tuple"):
+            journal.log_push({("a", 1): ([0.0], [0.0], [0.0])})
+        # The failed pushes consumed no sequence numbers.
+        assert journal.log_push({"ok": ([0.0], [0.0], [0.0])}) == 1
+        journal.close()
+
+    def test_seal_counts_survive_reopen(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        journal.log_seal("a")
+        journal.log_seal("a")
+        journal.log_seal(7)
+        journal.close()
+        reopened = FixJournal(tmp_path / "wal")
+        assert reopened.seal_counts() == {"a": 2, 7: 1}
+        reopened.close()
+
+    def test_geodetic_flag_enforced(self, tmp_path):
+        FixJournal(tmp_path / "wal", geodetic=True).close()
+        with pytest.raises(JournalError, match="geodetic"):
+            FixJournal(tmp_path / "wal", geodetic=False)
+
+    def test_rotate_drops_history_keeps_sequence(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        for salt in range(5):
+            journal.log_push(_push_groups(salt))
+        journal.log_seal("car-1")
+        journal.rotate()
+        assert len(journal.segments) == 1
+        assert journal.last_seq == 5  # the checkpoint carries it
+        assert journal.seal_counts() == {}
+        journal.close()
+        reopened = FixJournal(tmp_path / "wal", keep_records=True)
+        assert reopened.last_seq == 5
+        assert list(reopened.iter_records()) == []
+        assert reopened.log_push(_push_groups()) == 6
+        reopened.close()
+
+
+class TestTornTails:
+    def _segment(self, tmp_path):
+        return tmp_path / "wal" / "wal-00000001.log"
+
+    def test_torn_frame_dropped_and_rolled(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        journal.log_push(_push_groups(0))
+        journal.log_push(_push_groups(1))
+        journal.close()
+        # A crash mid-write leaves a half frame at the tail.
+        with open(self._segment(tmp_path), "ab") as handle:
+            handle.write(_FRAME.pack(1000, 0) + b"partial")
+        reopened = FixJournal(tmp_path / "wal", keep_records=True)
+        assert reopened.damaged_bytes == _FRAME.size + len(b"partial")
+        assert reopened.last_seq == 2  # both intact batches survive
+        assert len(reopened.segments) == 2  # rolled past the damage
+        reopened.close()
+
+    def test_corrupt_crc_truncates_tail(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        journal.log_push(_push_groups(0))
+        size_one = self._segment(tmp_path).stat().st_size
+        journal.log_push(_push_groups(1))
+        journal.close()
+        data = bytearray(self._segment(tmp_path).read_bytes())
+        data[size_one + _FRAME.size + 3] ^= 0xFF  # flip a payload byte
+        self._segment(tmp_path).write_bytes(bytes(data))
+        reopened = FixJournal(tmp_path / "wal", keep_records=True)
+        assert reopened.last_seq == 1
+        assert reopened.damaged_bytes == len(data) - size_one
+        reopened.close()
+
+    def test_second_crash_reopens_clean(self, tmp_path):
+        # The tear is truncated at scan time, so a reopen after the roll
+        # (when the damaged segment is no longer final) still succeeds.
+        journal = FixJournal(tmp_path / "wal")
+        journal.log_push(_push_groups(0))
+        journal.close()
+        with open(self._segment(tmp_path), "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef")
+        first = FixJournal(tmp_path / "wal")
+        assert first.damaged_bytes == 4
+        first.log_push(_push_groups(1))
+        first.close()
+        second = FixJournal(tmp_path / "wal")
+        assert second.damaged_bytes == 0
+        assert second.last_seq == 2
+        second.close()
+
+    def test_damage_before_final_segment_refused(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        journal.log_push(_push_groups(0))
+        journal._new_segment(checkpoint=True)  # two live segments
+        journal.close()
+        with open(self._segment(tmp_path), "ab") as handle:
+            handle.write(b"\xba\xad")
+        with pytest.raises(JournalError, match="before the final segment"):
+            FixJournal(tmp_path / "wal")
+
+    def test_bad_magic_refused(self, tmp_path):
+        journal = FixJournal(tmp_path / "wal")
+        journal.close()
+        seg = self._segment(tmp_path)
+        data = bytearray(seg.read_bytes())
+        data[0] = ord("X")
+        seg.write_bytes(bytes(data))
+        with pytest.raises(JournalError, match="bad magic"):
+            FixJournal(tmp_path / "wal")
+
+
+class TestEngineRecovery:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        ids, cols = fleet_fixes(6, 60, seed=11)
+        return list(iter_fix_batches(ids, cols, 48))
+
+    @pytest.fixture(scope="class")
+    def reference(self, stream):
+        engine = StreamEngine(_factory)
+        for batch in stream:
+            engine.push_columns(*batch)
+        return _results_digestable(engine.finish_all())
+
+    def test_journal_does_not_change_output(self, tmp_path, stream, reference):
+        engine = StreamEngine(_factory, journal=tmp_path / "wal")
+        for batch in stream:
+            engine.push_columns(*batch)
+        assert _results_digestable(engine.finish_all()) == reference
+        engine.journal.close()
+
+    @pytest.mark.parametrize("crash_after", [0, 1, 7, "all"])
+    def test_replay_is_bit_identical_at_any_crash_point(
+        self, tmp_path, stream, reference, crash_after
+    ):
+        k = len(stream) if crash_after == "all" else crash_after
+        crashed = StreamEngine(_factory, journal=tmp_path / "wal")
+        for batch in stream[:k]:
+            crashed.push_columns(*batch)
+        # Simulated crash: in-memory state abandoned, journal survives.
+        crashed.journal.close()
+
+        engine = StreamEngine.recover(tmp_path / "wal", _factory)
+        assert engine.recovery.last_seq == k
+        assert engine.recovery.batches_replayed == k
+        for batch in stream[k:]:
+            engine.push_columns(*batch)
+        assert _results_digestable(engine.finish_all()) == reference
+        engine.journal.close()
+
+    def test_recovered_store_exactly_once(self, tmp_path, stream):
+        ref_store = TrajectoryStore(tmp_path / "ref")
+        ref_engine = StreamEngine(
+            _factory, collect=False, sink=StoreSink(ref_store)
+        )
+        for batch in stream:
+            ref_engine.push_columns(*batch)
+        ref_engine.finish_all()
+        ref_digest = ref_store.content_digest()
+        ref_store.close()
+
+        store = TrajectoryStore(tmp_path / "store")
+        crashed = StreamEngine(
+            _factory,
+            collect=False,
+            sink=StoreSink(store),
+            journal=tmp_path / "wal",
+        )
+        k = len(stream) // 2
+        for batch in stream[:k]:
+            crashed.push_columns(*batch)
+        crashed.journal.close()
+        store.close()
+
+        store = TrajectoryStore(tmp_path / "store")
+        engine = StreamEngine.recover(
+            tmp_path / "wal",
+            _factory,
+            collect=False,
+            sink=StoreSink(store),
+            dedupe_store=store,
+        )
+        for batch in stream[k:]:
+            engine.push_columns(*batch)
+        engine.finish_all()
+        assert store.content_digest() == ref_digest
+        engine.journal.close()
+        store.close()
+
+    def test_finish_all_rotates_to_empty_replay(self, tmp_path, stream):
+        engine = StreamEngine(_factory, journal=tmp_path / "wal")
+        for batch in stream:
+            engine.push_columns(*batch)
+        engine.finish_all()
+        assert len(engine.journal.segments) == 1
+        engine.journal.close()
+        recovered = StreamEngine.recover(tmp_path / "wal", _factory)
+        assert recovered.recovery.batches_replayed == 0
+        assert recovered.recovery.last_seq == len(stream)
+        recovered.journal.close()
+
+    def test_seal_dedupe_closes_emit_before_checkpoint_window(self, tmp_path):
+        """A trajectory that reached the store but whose seal checkpoint
+        died with the crash must not be stored twice on replay."""
+        store = TrajectoryStore(tmp_path / "store")
+        engine = StreamEngine(
+            _factory,
+            collect=False,
+            sink=StoreSink(store),
+            journal=tmp_path / "wal",
+        )
+        engine.push_columns(
+            ["dev"] * 6,
+            [0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            [0.0, 30.0, 60.0, 90.0, 120.0, 150.0],
+            [0.0, 0.0, 50.0, 0.0, 0.0, 40.0],
+        )
+        engine.finish_device("dev")  # emits to the store, then logs SEAL
+        engine.journal.close()
+        records_before = store.record_count
+        digest_before = store.content_digest()
+        store.close()
+        assert records_before == 1
+
+        # Tear off the final SEAL frame: the crash landed between the
+        # store write and the checkpoint.
+        segment = tmp_path / "wal" / "wal-00000001.log"
+        data = segment.read_bytes()
+        pos = _HEADER.size
+        seal_start = None
+        while pos < len(data):
+            length, crc = _FRAME.unpack_from(data, pos)
+            payload = data[pos + _FRAME.size : pos + _FRAME.size + length]
+            assert zlib.crc32(payload) == crc
+            if payload[0] == _REC_SEAL:
+                seal_start = pos
+            pos += _FRAME.size + length
+        assert seal_start is not None
+        with open(segment, "r+b") as handle:
+            handle.truncate(seal_start)
+
+        store = TrajectoryStore(tmp_path / "store")
+        engine = StreamEngine.recover(
+            tmp_path / "wal",
+            _factory,
+            collect=False,
+            sink=StoreSink(store),
+            dedupe_store=store,
+        )
+        assert engine.recovery.seals_deduped == 1
+        assert engine.recovery.seals_suppressed == 0
+        assert store.record_count == records_before
+        assert store.content_digest() == digest_before
+        engine.journal.close()
+        store.close()
+
+    def test_volatile_sinks_get_suppressed_seals_again(self, tmp_path):
+        """Collect results after recovery equal the uninterrupted run's
+        even when the store already holds the pre-crash seals."""
+        store = TrajectoryStore(tmp_path / "store")
+        engine = StreamEngine(
+            _factory, sink=StoreSink(store), journal=tmp_path / "wal"
+        )
+        engine.push_columns(
+            ["a"] * 3 + ["b"] * 3,
+            [0.0, 1.0, 2.0, 0.0, 1.0, 2.0],
+            [0.0, 40.0, 80.0, 5.0, 45.0, 85.0],
+            [0.0, 30.0, 0.0, 5.0, 35.0, 5.0],
+        )
+        engine.finish_device("a")  # sealed + checkpointed pre-crash
+        engine.journal.close()
+        store.close()
+
+        store = TrajectoryStore(tmp_path / "store")
+        recovered = StreamEngine.recover(
+            tmp_path / "wal",
+            _factory,
+            sink=StoreSink(store),
+            dedupe_store=store,
+        )
+        assert recovered.recovery.seals_suppressed == 1
+        results = recovered.finish_all()
+        # Device a's pre-crash seal is still in the collect results (the
+        # volatile ledger died with the crash and was re-delivered) while
+        # the store kept exactly one copy.
+        assert set(results) == {"a", "b"}
+        assert len(results["a"]) == 1
+        assert store.record_count == 2
+        recovered.journal.close()
+        store.close()
+
+
+class TestGeodeticRecovery:
+    def test_geo_replay_is_bit_identical(self, tmp_path):
+        ids, ts, lats, lons = gps_fleet_fixes(5, 50, seed=3, multi_zone=True)
+        batches = list(iter_geo_fix_batches(ids, ts, lats, lons, 40))
+        factory = functools.partial(_geo_factory, EPSILON)
+
+        reference_engine = GeoStreamEngine(factory)
+        for batch in batches:
+            reference_engine.push_columns(*batch)
+        reference = _results_digestable(reference_engine.finish_all())
+
+        k = len(batches) // 2
+        crashed = GeoStreamEngine(factory, journal=tmp_path / "wal")
+        for batch in batches[:k]:
+            crashed.push_columns(*batch)
+        crashed.journal.close()
+
+        engine = GeoStreamEngine.recover(tmp_path / "wal", factory)
+        assert engine.recovery.last_seq == k
+        for batch in batches[k:]:
+            engine.push_columns(*batch)
+        assert _results_digestable(engine.finish_all()) == reference
+        engine.journal.close()
+
+    def test_geo_journal_is_stamped_geodetic(self, tmp_path):
+        engine = GeoStreamEngine(
+            functools.partial(_geo_factory, EPSILON),
+            journal=tmp_path / "wal",
+        )
+        assert engine.journal.geodetic
+        engine.journal.close()
+        with pytest.raises(JournalError, match="geodetic"):
+            StreamEngine.recover(tmp_path / "wal", _factory)
+
+
+def _geo_factory(epsilon, device_id):
+    from repro.compression import BQSCompressor
+
+    return BQSCompressor(epsilon)
