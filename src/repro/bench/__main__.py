@@ -11,13 +11,17 @@ Modes::
     # profile one workload instead of timing it
     PYTHONPATH=src python -m repro.bench --profile --workloads random_walk
 
+    # profile the engine or sharded-transport hot path instead
+    PYTHONPATH=src python -m repro.bench --profile --profile-mode sharded
+
     # diff two recorded runs and flag regressions
     PYTHONPATH=src python -m repro.bench compare OLD.json NEW.json --strict
     PYTHONPATH=src python -m repro.bench compare OLD.json NEW.json --fail-on-behaviour
 
 Each run covers the per-compressor suite (object + columnar passes) and,
 unless ``--no-fleet``, the multi-stream fleet benchmark (per-device
-ceiling, single-process engine, sharded engine per ``--fleet-workers``).
+ceiling, single-process engine, sharded engine per ``--fleet-workers``
+crossed with every data plane in ``--transports``).
 External reference numbers (e.g. the pre-optimization throughput this PR
 is measured against) can be recorded straight into the output with
 ``--baseline name=value`` so one file carries both sides of a comparison.
@@ -92,15 +96,23 @@ def _format_records(records) -> str:
 
 def _format_fleet(records) -> str:
     header = (
-        f"{'fleet mode':<14}{'workers':>8}{'fixes/s':>12}{'wall s':>9}"
-        f"{'trajs':>7}{'keys':>8}  digest"
+        f"{'fleet mode':<16}{'workers':>8}{'fixes/s':>12}{'wall s':>9}"
+        f"{'trajs':>7}{'keys':>8}{'util':>6}{'ack p99':>10}  digest"
     )
     lines = [header, "-" * len(header)]
     for r in records:
+        shards = getattr(r, "shards", None) or []
+        if shards:
+            # Worst shard: the load-balance and latency view that matters.
+            util = f"{max(s['utilization'] for s in shards):.2f}"
+            p99 = max(s["ack_us_p99"] for s in shards)
+            ack = f"{p99 / 1e3:.1f}ms" if p99 else "-"
+        else:
+            util, ack = "-", "-"
         lines.append(
-            f"{r.mode:<14}{r.workers:>8}{r.fixes_per_sec:>12,.0f}"
+            f"{r.mode:<16}{r.workers:>8}{r.fixes_per_sec:>12,.0f}"
             f"{r.wall_seconds:>9.3f}{r.trajectories:>7}{r.key_points:>8}"
-            f"  {r.key_digest}"
+            f"{util:>6}{ack:>10}  {r.key_digest}"
         )
     return "\n".join(lines)
 
@@ -224,6 +236,55 @@ def _run_profile(workload_name, points, epsilon, uniform_period, algorithms, top
     stats.sort_stats("cumulative").print_stats(top)
 
 
+def _run_profile_engine(
+    mode: str,
+    devices: int,
+    fixes_per_device: int,
+    epsilon: float,
+    seed: int,
+    batch_size: int,
+    workers: int,
+    transport: str,
+    top: int,
+) -> None:
+    """Profile the fleet ingest path through the single-process engine
+    (``mode="engine"``) or the sharded engine (``mode="sharded"``, using
+    the first ``--fleet-workers`` count and the first ``--transports``
+    data plane).  Worker spawn and data generation stay outside the
+    profiler, matching what the fleet bench times."""
+    import functools
+
+    from ..engine.core import StreamEngine
+    from ..engine.sharded import ShardedStreamEngine
+    from ..engine.simulate import bqs_fleet_factory, fleet_fixes, iter_fix_batches
+
+    ids, cols = fleet_fixes(devices, fixes_per_device, seed=seed)
+    batches = list(iter_fix_batches(ids, cols, batch_size))
+    factory = functools.partial(bqs_fleet_factory, epsilon)
+    if mode == "sharded":
+        engine = ShardedStreamEngine(factory, workers=workers, transport=transport)
+        label = f"sharded-{workers} ({transport})"
+    else:
+        engine = StreamEngine(factory)
+        label = "engine"
+    print(
+        f"bench: profiling {label} over {devices}x{fixes_per_device} fixes",
+        file=sys.stderr,
+    )
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        for batch in batches:
+            engine.push_columns(*batch)
+        engine.finish_all()
+    finally:
+        profiler.disable()
+        if mode == "sharded":
+            engine.close()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
 def main_run(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench",
@@ -273,6 +334,14 @@ def main_run(argv: Sequence[str]) -> int:
         default=25,
         metavar="N",
         help="how many functions --profile prints (default 25)",
+    )
+    parser.add_argument(
+        "--profile-mode",
+        choices=("compressor", "engine", "sharded"),
+        default="compressor",
+        help="what --profile profiles: the per-compressor suite (default), "
+        "the single-process engine's fleet ingest, or the sharded engine "
+        "(first --fleet-workers count, first --transports data plane)",
     )
     parser.add_argument(
         "--no-fleet",
@@ -344,6 +413,11 @@ def main_run(argv: Sequence[str]) -> int:
         default="2,4",
         help="comma-separated worker counts for the sharded engine",
     )
+    parser.add_argument(
+        "--transports",
+        default="pipe,shm",
+        help="comma-separated sharded data planes to bench (pipe, shm)",
+    )
     args = parser.parse_args(argv)
 
     # Validate before the (potentially minutes-long) run so a malformed
@@ -369,6 +443,13 @@ def main_run(argv: Sequence[str]) -> int:
     if any(w < 1 for w in fleet_workers):
         raise SystemExit("--fleet-workers values must be >= 1")
 
+    transports = [t.strip() for t in args.transports.split(",") if t.strip()]
+    if not transports or any(t not in ("pipe", "shm") for t in transports):
+        raise SystemExit(
+            f"--transports expects a subset of pipe,shm, got "
+            f"{args.transports!r}"
+        )
+
     if args.smoke:
         scale_sizes = list(_SMOKE_SCALE_SIZES)
     else:
@@ -389,6 +470,19 @@ def main_run(argv: Sequence[str]) -> int:
         workload_points[name] = make_workload(name, points_per_workload, args.seed)
 
     if args.profile:
+        if args.profile_mode != "compressor":
+            _run_profile_engine(
+                args.profile_mode,
+                _SMOKE_FLEET_DEVICES if args.smoke else args.fleet_devices,
+                _SMOKE_FLEET_FIXES if args.smoke else args.fleet_fixes,
+                args.epsilon,
+                args.seed,
+                args.fleet_batch,
+                fleet_workers[0],
+                transports[0],
+                args.profile_top,
+            )
+            return 0
         first = workload_names[0]
         if len(workload_names) > 1:
             print(
@@ -426,6 +520,7 @@ def main_run(argv: Sequence[str]) -> int:
             seed=args.seed,
             batch_size=args.fleet_batch,
             worker_counts=fleet_workers,
+            transports=transports,
             progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
         )
 
@@ -494,7 +589,9 @@ def main_run(argv: Sequence[str]) -> int:
 
     out_path = args.out or f"BENCH_{datetime.date.today().isoformat()}.json"
     document = {
-        "schema": 7,
+        # Schema 8: fleet records carry transport + per-shard stats, and
+        # the sharded modes span a transport dimension (sharded-N-shm).
+        "schema": 8,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),

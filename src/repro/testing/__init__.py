@@ -12,7 +12,13 @@ Imports are lazy so ``python -m repro.testing.faults`` does not import
 the module twice (once as a package attribute, once as ``__main__``).
 """
 
-__all__ = ["FaultyFS", "KillFS", "run_compact_kill", "run_crash_ingest"]
+__all__ = [
+    "FaultyFS",
+    "KillFS",
+    "run_compact_kill",
+    "run_crash_ingest",
+    "run_sharded_transport_check",
+]
 
 
 def __getattr__(name):

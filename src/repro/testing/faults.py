@@ -45,7 +45,13 @@ from pathlib import Path
 
 from .. import fsio
 
-__all__ = ["FaultyFS", "KillFS", "run_compact_kill", "run_crash_ingest"]
+__all__ = [
+    "FaultyFS",
+    "KillFS",
+    "run_compact_kill",
+    "run_crash_ingest",
+    "run_sharded_transport_check",
+]
 
 
 # -- filesystem shims --------------------------------------------------------
@@ -454,6 +460,85 @@ def run_compact_kill(
     }
 
 
+def run_sharded_transport_check(
+    base: str | os.PathLike,
+    *,
+    seed: int = 0,
+    devices: int = 8,
+    fixes_per_device: int = 80,
+    batch_size: int = 64,
+    epsilon: float = 5.0,
+    workers: int = 2,
+    kill: bool = True,
+) -> dict:
+    """Digest-pin the sharded transports against single-process output.
+
+    Runs the same seeded fleet three ways — single-process
+    :class:`~repro.engine.core.StreamEngine`, then a supervised
+    :class:`~repro.engine.sharded.ShardedStreamEngine` per transport
+    (``pipe`` and ``shm``), each with a worker SIGKILLed mid-stream and
+    rebuilt from its shard journal — and asserts every run's
+    :func:`~repro.bench.fleet.fleet_digest` is identical.  A digest split
+    between the transports, or between either transport and the
+    single-process reference, is exactly the drift the CI smoke exists to
+    catch.  Returns a report with the digest, per-transport restart
+    counts, and per-transport transport stats.
+    """
+    import time as _time
+
+    from ..bench.fleet import fleet_digest
+    from ..engine import ShardedStreamEngine, StreamEngine, bqs_fleet_factory
+
+    base = Path(base)
+    factory = functools.partial(bqs_fleet_factory, epsilon)
+    batches = _harness_batches(devices, fixes_per_device, seed, batch_size)
+
+    engine = StreamEngine(factory)
+    for batch in batches:
+        engine.push_columns(*batch)
+    reference = fleet_digest(engine.finish_all())
+
+    report = {
+        "digest": reference,
+        "killed": bool(kill),
+        "transports": {},
+    }
+    half = max(1, len(batches) // 2)
+    for transport in ("pipe", "shm"):
+        sharded = ShardedStreamEngine(
+            factory,
+            workers=workers,
+            transport=transport,
+            journal_dir=base / f"wal-{transport}",
+            restart_workers=2,
+        )
+        try:
+            for batch in batches[:half]:
+                sharded.push_columns(*batch)
+            if kill:
+                os.kill(sharded._procs[seed % workers].pid, signal.SIGKILL)
+                _time.sleep(0.3)
+            for batch in batches[half:]:
+                sharded.push_columns(*batch)
+            digest = fleet_digest(sharded.finish_all())
+        finally:
+            sharded.close()
+        restarts = sum(sharded._restarts)
+        assert not kill or restarts >= 1, (
+            f"{transport}: worker was killed but never restarted"
+        )
+        assert digest == reference, (
+            f"{transport}: sharded digest {digest} diverged from "
+            f"single-process {reference}"
+        )
+        report["transports"][transport] = {
+            "digest": digest,
+            "restarts": restarts,
+            "stats": sharded.transport_stats(),
+        }
+    return report
+
+
 # -- CLI: the CI crash-injection smoke ---------------------------------------
 
 
@@ -466,8 +551,9 @@ def main(argv=None) -> int:
         prog="python -m repro.testing.faults",
         description=(
             "Bounded crash-injection smoke: kill-9 ingest (batch-boundary "
-            "and mid-write), ENOSPC on the store manifest, and a journal "
-            "replay digest check per seed."
+            "and mid-write), ENOSPC on the store manifest, a journal "
+            "replay digest check, and a sharded pipe/shm transport "
+            "kill-restart digest pin per seed."
         ),
     )
     parser.add_argument(
@@ -521,6 +607,23 @@ def main(argv=None) -> int:
                     f"{report['generation_before']}->"
                     f"{report['generation_after']} "
                     f"digest={report['digest'][:12]}"
+                )
+            # Sharded transports: pipe and shm, each kill-9'd mid-stream
+            # and journal-replayed, digest-pinned to single-process.
+            try:
+                report = run_sharded_transport_check(
+                    Path(tmp) / "sharded", seed=seed
+                )
+            except AssertionError as exc:
+                failures += 1
+                print(f"FAIL seed={seed} sharded-transport: {exc}")
+            else:
+                restarts = {
+                    t: r["restarts"] for t, r in report["transports"].items()
+                }
+                print(
+                    f"ok seed={seed} sharded-transport: "
+                    f"digest={report['digest'][:12]} restarts={restarts}"
                 )
             # ENOSPC on the manifest commit: the tmp file must not leak.
             from ..storage.store import TrajectoryStore

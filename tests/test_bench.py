@@ -129,7 +129,7 @@ class TestCLI:
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 7
+        assert doc["schema"] == 8
         assert doc["geodetic"] is None
         assert doc["dirty_fleet"] is None  # rides with --no-fleet
         assert doc["durability"] is None  # rides with --no-fleet too
@@ -298,7 +298,10 @@ class TestFleetBench:
         records = run_fleet_bench(
             6, 60, epsilon=10.0, seed=3, batch_size=64, worker_counts=(2,)
         )
-        assert [r.mode for r in records] == ["per-device", "engine", "sharded-2"]
+        assert [r.mode for r in records] == [
+            "per-device", "engine", "sharded-2", "sharded-2-shm"
+        ]
+        assert [r.transport for r in records] == ["", "", "pipe", "shm"]
         digests = {r.key_digest for r in records}
         assert len(digests) == 1  # determinism across every mode
         for r in records:
@@ -306,6 +309,9 @@ class TestFleetBench:
             assert r.fixes_per_sec > 0.0
             assert r.trajectories == 6
             json.dumps(r.to_json())
+        shm = records[-1]
+        assert shm.shards and len(shm.shards) == 2
+        assert sum(s["fixes"] for s in shm.shards) == 360
 
     def test_fleet_digest_sensitive_to_output(self):
         from repro.bench import fleet_digest
