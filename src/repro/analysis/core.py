@@ -1,0 +1,335 @@
+"""Linter infrastructure: parsing, suppressions, the rule registry.
+
+Everything here is rule-agnostic.  A :class:`SourceModule` wraps one
+parsed file with the conveniences every rule needs — parent links on the
+AST, dotted call names, scoping by path segment — and the suppression
+table extracted from ``# repro: ignore[RULE-ID]`` comments.  Rules
+register themselves in :data:`RULES` via the :func:`rule` decorator (see
+:mod:`repro.analysis.rules`).
+
+Suppression semantics: a comment silences matching findings on its own
+physical line; a comment that stands alone on a line silences findings
+on the next line instead (for statements too long to share a line with
+their justification).  ``--strict`` turns an unjustified or unused
+suppression into a finding of its own (rule ``RA00``), so a suppression
+cannot outlive the code it excused.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "SourceModule",
+    "Suppression",
+    "analyze_source",
+    "iter_python_files",
+    "run_paths",
+    "rule",
+    "call_name",
+    "META_RULE_ID",
+]
+
+#: The linter's own hygiene rule: unjustified / unused suppressions.
+META_RULE_ID = "RA00"
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[A-Za-z0-9_,\s-]+)\]\s*(?P<why>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{mark}: {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: ignore[...]`` comment and what it applies to."""
+
+    line: int  #: the line whose findings this comment silences
+    comment_line: int  #: the physical line the comment sits on
+    rules: Tuple[str, ...]
+    justification: str
+    used: Set[str] = field(default_factory=set)
+
+    def matches(self, rule_id: str) -> bool:
+        return rule_id in self.rules
+
+
+class Rule:
+    """A registered invariant check.
+
+    Subclass-free by design: a rule is its id, a one-line title, the
+    historical rationale, and a check function over a
+    :class:`SourceModule` yielding :class:`Finding`\\ s.
+    """
+
+    def __init__(
+        self,
+        rule_id: str,
+        title: str,
+        rationale: str,
+        check: Callable[["SourceModule"], Iterator[Finding]],
+    ) -> None:
+        self.id = rule_id
+        self.title = title
+        self.rationale = rationale
+        self._check = check
+
+    def check(self, module: "SourceModule") -> Iterator[Finding]:
+        return self._check(module)
+
+
+#: The global registry, id -> rule, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, title: str, rationale: str):
+    """Class-level decorator registering a check function as a rule."""
+
+    def register(check: Callable[["SourceModule"], Iterator[Finding]]) -> Rule:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        r = Rule(rule_id, title, rationale, check)
+        RULES[rule_id] = r
+        return r
+
+    return register
+
+
+def call_name(node: ast.AST) -> Optional[str]:
+    """The dotted name of a call target (``os.replace``, ``open``,
+    ``self._shm.unlink``) or ``None`` when it isn't a plain name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class SourceModule:
+    """One parsed source file plus the lookups rules share."""
+
+    def __init__(self, path: str, text: str, display_path: Optional[str] = None):
+        self.path = path
+        self.display_path = display_path or path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        #: Path segments, for scoping rules to subtrees ("engine",
+        #: "storage", ...) without caring where the checkout lives.
+        self.parts: Tuple[str, ...] = Path(path).parts
+        self.filename: str = Path(path).name
+        self.suppressions: List[Suppression] = _parse_suppressions(text)
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for sup in self.suppressions:
+            self._by_line.setdefault(sup.line, []).append(sup)
+
+    # -- structure -----------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def in_dir(self, *segments: str) -> bool:
+        """Whether any of ``segments`` appears as a path component."""
+        return any(seg in self.parts for seg in segments)
+
+    # -- findings ------------------------------------------------------------
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding at ``node``, resolving suppression comments."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        for sup in self._by_line.get(line, ()):
+            if sup.matches(rule_id):
+                sup.used.add(rule_id)
+                return Finding(
+                    rule_id,
+                    self.display_path,
+                    line,
+                    col,
+                    message,
+                    suppressed=True,
+                    justification=sup.justification or None,
+                )
+        return Finding(rule_id, self.display_path, line, col, message)
+
+
+def _parse_suppressions(text: str) -> List[Suppression]:
+    """Extract ``# repro: ignore[...]`` comments via tokenize.
+
+    Tokenizing (rather than regexing raw lines) keeps the marker inert
+    inside string literals, so fixture snippets and docs can quote the
+    syntax without silencing anything.
+    """
+    sups: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return sups
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _IGNORE_RE.search(tok.string)
+        if m is None:
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in m.group("rules").split(",")
+            if part.strip()
+        )
+        why = m.group("why").strip().lstrip("-—:").strip()
+        line = tok.start[0]
+        # A comment alone on its line governs the following line.
+        standalone = tok.line[: tok.start[1]].strip() == ""
+        sups.append(
+            Suppression(
+                line=line + 1 if standalone else line,
+                comment_line=line,
+                rules=rules,
+                justification=why,
+            )
+        )
+    return sups
+
+
+# -- running -----------------------------------------------------------------
+
+
+def analyze_source(
+    path: str,
+    text: str,
+    *,
+    strict: bool = False,
+    display_path: Optional[str] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Finding]:
+    """Run every rule over one file's source; returns sorted findings
+    (suppressed ones included, flagged)."""
+    module = SourceModule(path, text, display_path=display_path)
+    findings: List[Finding] = []
+    for r in rules if rules is not None else RULES.values():
+        findings.extend(r.check(module))
+    if strict:
+        findings.extend(_meta_findings(module))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _meta_findings(module: SourceModule) -> Iterator[Finding]:
+    """RA00: suppression hygiene — every ignore must be justified and
+    must still be doing work."""
+    for sup in module.suppressions:
+        unknown = [r for r in sup.rules if r not in RULES and r != META_RULE_ID]
+        if unknown:
+            yield Finding(
+                META_RULE_ID,
+                module.display_path,
+                sup.comment_line,
+                0,
+                f"suppression names unknown rule(s) {', '.join(unknown)}",
+            )
+        if not sup.justification:
+            yield Finding(
+                META_RULE_ID,
+                module.display_path,
+                sup.comment_line,
+                0,
+                "suppression lacks a justification — say why the contract "
+                "does not apply here: # repro: ignore[RULE] <reason>",
+            )
+        unused = [r for r in sup.rules if r in RULES and r not in sup.used]
+        if unused:
+            yield Finding(
+                META_RULE_ID,
+                module.display_path,
+                sup.comment_line,
+                0,
+                f"unused suppression for {', '.join(unused)} — the finding "
+                "it excused is gone; delete the comment",
+            )
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories to ``.py`` files, sorted for determinism."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            rc = c.resolve()
+            if rc not in seen:
+                seen.add(rc)
+                yield c
+
+
+def run_paths(
+    paths: Iterable[str], *, strict: bool = False
+) -> Tuple[List[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, checked_files)``; findings are sorted and
+    include suppressed ones (callers filter on ``suppressed`` for the
+    exit code).
+    """
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        text = path.read_text(encoding="utf-8")
+        findings.extend(
+            analyze_source(str(path), text, strict=strict, display_path=str(path))
+        )
+    findings.sort(key=Finding.sort_key)
+    return findings, checked

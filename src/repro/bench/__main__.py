@@ -38,6 +38,8 @@ import pstats
 import sys
 from typing import Sequence
 
+from .. import fsio
+
 from .compare import diff_benches, format_diff, load_bench_file
 from .durability import run_durability_bench
 from .fleet import run_dirty_fleet_bench, run_fleet_bench
@@ -628,7 +630,7 @@ def main_run(argv: Sequence[str]) -> int:
             else None
         ),
     }
-    with open(out_path, "w", encoding="utf-8") as handle:
+    with fsio.open_file(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
 

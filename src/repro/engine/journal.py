@@ -326,7 +326,9 @@ class FixJournal:
                 # Truncate the tear: once this recovery rolls a fresh
                 # segment the damaged one is no longer final, and a second
                 # crash before the next quiesce must still reopen clean.
-                with open(self.directory / name, "r+b") as repair:
+                # The truncate mutates the log, so it goes through the
+                # seam like every other write-side repair.
+                with fsio.open_file(self.directory / name, "r+b") as repair:
                     repair.truncate(pos)
                 self.damaged_bytes += damage
         if self.damaged_bytes:
@@ -492,7 +494,7 @@ class FixJournal:
             self._records = []
         for name in old:
             try:
-                os.unlink(self.directory / name)
+                fsio.unlink(self.directory / name)
             except OSError:
                 pass  # an orphan is replay-correct, just not free
             if name in self._segments:

@@ -538,8 +538,13 @@ class ShardedStreamEngine:
         except (EOFError, OSError) as exc:
             raise self._crash_error(shard, cause=exc) from exc
         if tag != "ready":
-            raise RuntimeError(
-                f"worker {shard}: expected ready handshake, got {tag!r}"
+            # A garbled handshake means the worker (or its pipe) cannot be
+            # trusted — same blast radius as a crash.
+            raise ShardCrashError(
+                f"sharded ingestion failed: worker {shard} sent "
+                f"{tag!r} instead of the ready handshake",
+                shard=shard,
+                device_ids=tuple(sorted(self._shard_devices[shard], key=str)),
             )
         return base
 
@@ -675,11 +680,18 @@ class ShardedStreamEngine:
         self._send_shards(shards_cols)
         return n
 
+    def _ensure_not_finished(self) -> None:
+        if self._finished:
+            # Use-after-finish is caller lifecycle misuse (a bug in the
+            # calling code), not a data-plane failure a caller should
+            # route on — a deliberately untyped error.
+            # repro: ignore[RA04] lifecycle misuse by the caller, not a routable data-plane failure
+            raise RuntimeError("finish_all() already called")
+
     # -- pipe data plane -----------------------------------------------------
 
     def _send_shards(self, shards) -> None:
-        if self._finished:
-            raise RuntimeError("finish_all() already called")
+        self._ensure_not_finished()
         if self._supervised:
             # Drain every shard's acks first so the reply pipes never
             # back up no matter how batches distribute across shards.
@@ -710,8 +722,7 @@ class ShardedStreamEngine:
     # -- shm data plane ------------------------------------------------------
 
     def _send_frames(self, shards: Dict[int, Dict[DeviceId, tuple]]) -> None:
-        if self._finished:
-            raise RuntimeError("finish_all() already called")
+        self._ensure_not_finished()
         for shard in range(self.workers):
             self._drain_queued_acks(shard)
         for shard, groups in shards.items():
@@ -863,8 +874,7 @@ class ShardedStreamEngine:
         Healthy shards' results are still merged before the raise is
         decided, and the workers are torn down either way.
         """
-        if self._finished:
-            raise RuntimeError("finish_all() already called")
+        self._ensure_not_finished()
         self._finished = True
         merged: Dict[DeviceId, List[CompressedTrajectory]] = {}
         errors: List[str] = []
@@ -890,6 +900,11 @@ class ShardedStreamEngine:
         if crash is not None:
             raise crash
         if errors:
+            # The worker is alive and drained — this is not a crash, and
+            # the docstring promises a *plain* RuntimeError for worker-side
+            # ingestion errors (the message carries the worker's own typed
+            # error text).  ShardCrashError would claim a dead shard.
+            # repro: ignore[RA04] documented plain-RuntimeError contract for live-worker ingest errors
             raise RuntimeError(f"sharded ingestion failed: {errors[0]}")
         return merged
 

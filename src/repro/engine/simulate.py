@@ -257,6 +257,10 @@ def inject_disorder(
             for k in range(footprint):
                 taken.add(j + k)
             return device_id, j
+        # Argument validation of the caller's requested artifact counts
+        # against the stream they supplied — ValueError is the right type,
+        # it just is not expressible as a guard over one parameter name.
+        # repro: ignore[RA04] rejects caller-requested counts that cannot fit the caller's stream — argument validation
         raise ValueError(
             f"could not place {kind} artifact: stream too small or too "
             f"dirty for the requested counts"

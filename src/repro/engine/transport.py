@@ -55,6 +55,7 @@ __all__ = [
     "RingReader",
     "RingWriter",
     "TransportError",
+    "attach_shared_memory",
     "decode_payload",
     "encode_payloads",
 ]
@@ -72,6 +73,29 @@ class TransportError(RuntimeError):
     """The shm transport's protocol was violated (an out-of-order ack, a
     frame header that disagrees with its doorbell, a device id that
     cannot cross the ring)."""
+
+
+def attach_shared_memory(name: str):
+    """Attach to an existing shared-memory segment *without* registering
+    it with this process's resource tracker.
+
+    CPython registers a segment with the resource tracker on *attach* as
+    well as on create (bpo-38119), and the tracker process is shared with
+    the parent — so a plain worker-side attach would add, and its cleanup
+    would later remove, the very entry the owner's unlink relies on,
+    leaking (or double-freeing) ``/dev/shm`` segments.  The owner of the
+    segment manages its lifetime; every non-owning attach in this repo
+    must go through this helper (enforced by ``repro.analysis`` rule
+    RA06).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    real_register = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = real_register
 
 
 def _read_column(view, pos: int, n: int) -> Tuple[array, int]:
@@ -302,20 +326,9 @@ class RingReader:
     """Worker-side view of the ring: decode the frame a doorbell names."""
 
     def __init__(self, name: str) -> None:
-        from multiprocessing import resource_tracker, shared_memory
-
-        # CPython registers the segment with the resource tracker on
-        # *attach* as well as on create (bpo-38119), and the tracker
-        # process is shared with the parent — so a worker attach would
-        # add, and its cleanup would remove, the very entry the parent's
-        # unlink relies on.  The parent owns this segment's lifetime;
-        # attach with registration suppressed.
-        real_register = resource_tracker.register
-        resource_tracker.register = lambda name, rtype: None
-        try:
-            self._shm = shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = real_register
+        # The parent owns this segment's lifetime; attach with resource-
+        # tracker registration suppressed (see attach_shared_memory).
+        self._shm = attach_shared_memory(name)
         self._closed = False
 
     def read(self, seq: int, offset: int, length: int) -> Dict[object, tuple]:

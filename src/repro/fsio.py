@@ -23,32 +23,62 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from typing import IO, Any, Iterator, Protocol, Union
 
-__all__ = ["PassthroughFS", "open_file", "replace", "fsync", "install", "injected"]
+#: Anything the os-level path functions accept.
+StrPath = Union[str, "os.PathLike[str]"]
+
+
+class FS(Protocol):
+    """What a seam shim must provide (see :class:`PassthroughFS`).
+
+    ``unlink`` is optional for backward compatibility with pre-existing
+    shims; :func:`unlink` falls back to ``os.unlink`` when the active
+    shim does not intercept it.
+    """
+
+    def open(self, path: StrPath, mode: str = ..., **kwargs: Any) -> IO[Any]: ...
+
+    def replace(self, src: StrPath, dst: StrPath) -> None: ...
+
+    def fsync(self, fileno: int) -> None: ...
+
+__all__ = [
+    "PassthroughFS",
+    "open_file",
+    "replace",
+    "fsync",
+    "unlink",
+    "install",
+    "injected",
+]
 
 
 class PassthroughFS:
     """The default seam: real filesystem, zero indirection beyond a call."""
 
-    def open(self, path, mode="rb", **kwargs):
+    def open(self, path: "StrPath", mode: str = "rb", **kwargs: Any) -> IO[Any]:
         return open(path, mode, **kwargs)
 
-    def replace(self, src, dst) -> None:
+    def replace(self, src: "StrPath", dst: "StrPath") -> None:
         os.replace(src, dst)
 
     def fsync(self, fileno: int) -> None:
         os.fsync(fileno)
 
+    def unlink(self, path: "StrPath") -> None:
+        os.unlink(path)
 
-_active = PassthroughFS()
+
+_active: FS = PassthroughFS()
 
 
-def open_file(path, mode="rb", **kwargs):
+def open_file(path: StrPath, mode: str = "rb", **kwargs: Any) -> IO[Any]:
     """Open a file through the active seam (use for write handles)."""
     return _active.open(path, mode, **kwargs)
 
 
-def replace(src, dst) -> None:
+def replace(src: StrPath, dst: StrPath) -> None:
     """``os.replace`` through the active seam (atomic commit points)."""
     _active.replace(src, dst)
 
@@ -58,7 +88,18 @@ def fsync(fileno: int) -> None:
     _active.fsync(fileno)
 
 
-def install(shim) -> object:
+def unlink(path: StrPath) -> None:
+    """``os.unlink`` through the active seam (tmp-file cleanup, dead
+    segment reaping).  Shims that predate this hook are passed through
+    to the real ``os.unlink``."""
+    fn = getattr(_active, "unlink", None)
+    if fn is None:
+        os.unlink(path)
+    else:
+        fn(path)
+
+
+def install(shim: FS | None) -> FS:
     """Install a shim (``None`` restores the passthrough); returns the
     previously active one so callers can restore it."""
     global _active
@@ -68,7 +109,7 @@ def install(shim) -> object:
 
 
 @contextmanager
-def injected(shim):
+def injected(shim: FS) -> Iterator[FS]:
     """Scope a shim to a ``with`` block, restoring the previous seam on
     exit no matter how the block ends."""
     previous = install(shim)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence, cast
 
 __all__ = [
     "LocationPoint",
@@ -117,12 +117,14 @@ class PlanePoint:
 
 # Bulk materialization support: __new__ plus the raw slot descriptors skip
 # the dataclass __init__/__post_init__ frames, which dominate the cost of
-# building tens of thousands of points in the columnar hot paths.
+# building tens of thousands of points in the columnar hot paths.  (The
+# cast hides the descriptor access from the type checker: on the class,
+# a slots-dataclass field statically reads as plain ``float``.)
 _PLANE_POINT_NEW = PlanePoint.__new__
-_SET_X = PlanePoint.x.__set__
-_SET_Y = PlanePoint.y.__set__
-_SET_T = PlanePoint.t.__set__
-_SET_Z = PlanePoint.z.__set__
+_SET_X = cast(Any, PlanePoint).x.__set__
+_SET_Y = cast(Any, PlanePoint).y.__set__
+_SET_T = cast(Any, PlanePoint).t.__set__
+_SET_Z = cast(Any, PlanePoint).z.__set__
 
 
 def _trusted_plane_point(x: float, y: float, t: float, z: float) -> PlanePoint:

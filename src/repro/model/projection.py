@@ -162,7 +162,7 @@ class TransverseMercator:
 
     def forward_columns(
         self, latitudes: Sequence[float], longitudes: Sequence[float]
-    ) -> tuple[array, array]:
+    ) -> tuple[array[float], array[float]]:
         """Bulk :meth:`forward`: degree columns in, metre columns out.
 
         Performs exactly the operations of :meth:`forward`, in the same
@@ -322,7 +322,7 @@ class UTMProjection:
 
     def forward_columns(
         self, latitudes: Sequence[float], longitudes: Sequence[float]
-    ) -> tuple[array, array]:
+    ) -> tuple[array[float], array[float]]:
         """Bulk :meth:`forward`; bit-identical to a per-point loop."""
         return self._tm.forward_columns(latitudes, longitudes)  # type: ignore[attr-defined]
 
@@ -357,7 +357,7 @@ class LocalTangentProjection:
 
     def forward_columns(
         self, latitudes: Sequence[float], longitudes: Sequence[float]
-    ) -> tuple[array, array]:
+    ) -> tuple[array[float], array[float]]:
         """Bulk :meth:`forward`; bit-identical to a per-point loop."""
         n = len(latitudes)
         if len(longitudes) != n:

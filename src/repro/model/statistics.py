@@ -142,7 +142,7 @@ class EmpiricalDistribution:
     generators stay reproducible under a caller-supplied RNG.
     """
 
-    def __init__(self, samples: Sequence[float]):
+    def __init__(self, samples: Sequence[float]) -> None:
         values = sorted(float(s) for s in samples)
         if not values:
             raise ValueError("empirical distribution needs at least one sample")

@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from ..geometry.metrics import DistanceMetric, deviation as metric_deviation
 from .point import PlanePoint
 from .projection import UTMProjection
+
+if TYPE_CHECKING:  # runtime import stays late: columns imports point
+    from .columns import TrajectoryColumns
 
 __all__ = [
     "Segment",
@@ -184,7 +187,7 @@ class CompressedTrajectory:
     #: from already-planar fixes.
     frame: "UTMProjection | None" = None
     #: Extra bookkeeping from the producing algorithm (e.g. decision stats).
-    info: dict = field(default_factory=dict, compare=False)
+    info: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         if self.original_count < 0:

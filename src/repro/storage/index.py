@@ -370,7 +370,7 @@ def write_sidecar(
         # (or a naive glob) could promote a truncated sidecar.  The store
         # falls back to scan mode either way.
         try:
-            os.unlink(tmp)
+            fsio.unlink(tmp)
         except OSError:
             pass
         raise

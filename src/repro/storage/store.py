@@ -72,6 +72,7 @@ from .index import (
 __all__ = [
     "RecordRef",
     "StaleStoreError",
+    "StoreFormatError",
     "TrajectoryStore",
     "StoreSink",
     "migrate_store",
@@ -113,6 +114,15 @@ class StaleStoreError(RuntimeError):
     longer names.  When the on-disk generation has moved past this
     handle's, the store reloads its index before raising, so the caller
     can simply re-run the query on fresh refs.
+    """
+
+
+class StoreFormatError(ValueError):
+    """The directory's on-disk format is one this build cannot serve.
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError``
+    handling keeps working; the message names the found and supported
+    formats and the migration command.
     """
 
 
@@ -171,7 +181,7 @@ class TrajectoryStore:
                 doc = json.load(handle)
             fmt = int(doc.get("format", 1))
             if fmt != _FORMAT:
-                raise ValueError(
+                raise StoreFormatError(
                     f"{self.directory}: store format {fmt} is not supported "
                     f"(this build reads/writes format {_FORMAT}; run "
                     "`python -m repro.storage migrate` to upgrade in place)"
@@ -397,12 +407,19 @@ class TrajectoryStore:
         view.close()
         self._views[-1] = tail
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            # Use-after-close is caller lifecycle misuse (a bug in the
+            # calling code), not a data-plane failure to route on — a
+            # deliberately untyped error.
+            # repro: ignore[RA04] lifecycle misuse by the caller, not a routable data-plane failure
+            raise RuntimeError("store is closed")
+
     def reindex(self) -> int:
         """Rescan every segment log and rewrite its sidecar; returns how
         many sidecars were written.  The logs are the source of truth, so
         this repairs any amount of sidecar damage or staleness."""
-        if self._closed:
-            raise RuntimeError("store is closed")
+        self._ensure_open()
         self.flush()
         count = 0
         for si, name in enumerate(self._segments):
@@ -468,7 +485,7 @@ class TrajectoryStore:
             # A failed write (ENOSPC mid-dump) must not leave a stale
             # ``manifest.json.tmp`` shadowing the next commit attempt.
             try:
-                os.unlink(tmp)
+                fsio.unlink(tmp)
             except OSError:
                 pass
             raise
@@ -497,8 +514,7 @@ class TrajectoryStore:
         self._tail_dirty = True
 
     def _ensure_writable(self) -> None:
-        if self._closed:
-            raise RuntimeError("store is closed")
+        self._ensure_open()
         if self._handle is None:
             # A segment whose tail was damaged is sealed: bytes appended
             # after the bad frame would be unreachable to the open scan,
@@ -696,8 +712,7 @@ class TrajectoryStore:
     def reload(self) -> None:
         """Drop the in-memory index and re-open from the current manifest
         (used after another process compacts the directory)."""
-        if self._closed:
-            raise RuntimeError("store is closed")
+        self._ensure_open()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -943,8 +958,7 @@ class TrajectoryStore:
         left behind) are deleted.  Returns ``{"records": live,
         "bytes_before": ..., "bytes_after": ...}``.
         """
-        if self._closed:
-            raise RuntimeError("store is closed")
+        self._ensure_open()
         bytes_before = self.total_bytes()
         if self._handle is not None:
             self._handle.close()
@@ -1141,7 +1155,7 @@ def migrate_store(
     elif fmt == 1:
         dropped = _migrate_format1(directory, doc, segment_max_bytes)
     else:
-        raise ValueError(
+        raise StoreFormatError(
             f"{directory}: store format {fmt} is not supported by migrate "
             f"(known formats: 1, 2, {_FORMAT})"
         )
@@ -1168,7 +1182,7 @@ def _atomic_manifest(directory: Path, doc: dict) -> None:
         fsio.replace(tmp, directory / _MANIFEST)
     except OSError:
         try:
-            os.unlink(tmp)
+            fsio.unlink(tmp)
         except OSError:
             pass
         raise

@@ -113,6 +113,7 @@ class FaultyFS:
         self.writes = 0
         self.replaces = 0
         self.fsyncs = 0
+        self.unlinks = 0
 
     def open(self, path, mode="rb", **kwargs):
         handle = open(path, mode, **kwargs)
@@ -154,6 +155,12 @@ class FaultyFS:
         if not self.drop_fsync:
             os.fsync(fileno)
 
+    def unlink(self, path) -> None:
+        # Cleanup must always succeed even when writes are failing —
+        # tmp-hygiene handlers run *because* a fault fired.
+        self.unlinks += 1
+        os.unlink(path)
+
 
 class KillFS:
     """A shim that SIGKILLs the calling process mid-write after a budget.
@@ -191,6 +198,9 @@ class KillFS:
 
     def fsync(self, fileno: int) -> None:
         os.fsync(fileno)
+
+    def unlink(self, path) -> None:
+        os.unlink(path)
 
 
 # -- kill-9 ingest harness ---------------------------------------------------
